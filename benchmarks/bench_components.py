@@ -1,0 +1,59 @@
+"""Simulator-component microbenchmarks.
+
+These time the substrates themselves (cache model, branch predictor,
+functional execution, each pipeline core) so performance regressions in
+the simulator are visible independently of the paper's figures.
+"""
+
+import pytest
+
+from repro.branch import GsharePredictor
+from repro.harness import run_model
+from repro.memory import base_hierarchy
+from repro.isa import execute
+from repro.compiler import compile_program
+from repro.workloads import build_workload
+
+_COMPONENT_SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    program = compile_program(build_workload("gzip", _COMPONENT_SCALE))
+    return execute(program)
+
+
+def test_cache_hierarchy_access(benchmark):
+    hierarchy = base_hierarchy().build()
+    addresses = [(i * 4096 + (i % 13) * 64) % (1 << 22) for i in range(512)]
+
+    def run():
+        now = 0
+        for addr in addresses:
+            now = hierarchy.access(addr, now).ready
+        return now
+
+    benchmark(run)
+
+
+def test_gshare_updates(benchmark):
+    predictor = GsharePredictor()
+    outcomes = [(i * 7919) % 97 < 48 for i in range(2048)]
+
+    def run():
+        for i, taken in enumerate(outcomes):
+            predictor.update(i & 255, taken)
+
+    benchmark(run)
+
+
+def test_functional_execution(benchmark):
+    program = compile_program(build_workload("crafty", _COMPONENT_SCALE))
+    benchmark(execute, program)
+
+
+@pytest.mark.parametrize("model", ["inorder", "multipass", "runahead",
+                                   "ooo", "ooo-realistic"])
+def test_core_simulation_speed(benchmark, small_trace, model):
+    stats = benchmark(run_model, model, small_trace)
+    assert stats.instructions == len(small_trace)

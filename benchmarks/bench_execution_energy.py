@@ -1,0 +1,42 @@
+"""Execution-energy comparison (paper Sections 2 and 3.1.2).
+
+The paper argues that runahead "consume[s] execution energy multiple
+times" for the same instruction, while multipass result persistence means
+"the pipeline does not have to spend the energy to execute an instruction
+whose results are available from prior advance-mode execution".  This
+bench counts functional-unit activations per model and prices them.
+"""
+
+from conftest import run_once
+
+from repro.harness import geomean, run_model
+from repro.power import energy_comparison
+
+WORKLOADS = ("mcf", "bzip2", "gap", "gzip", "equake", "art", "ammp")
+MODELS = ("inorder", "multipass", "runahead", "ooo")
+
+
+def test_execution_energy(benchmark, trace_cache, scale):
+    def sweep():
+        rows = {}
+        for workload in WORKLOADS:
+            trace = trace_cache.trace(workload)
+            runs = {m: run_model(m, trace) for m in MODELS}
+            rows[workload] = energy_comparison(runs, trace)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\nexecution-energy overhead vs in-order "
+          "(1.00 = each instruction executes once):")
+    print(f"{'workload':>9}" + "".join(f"{m:>11}" for m in MODELS))
+    for workload, cells in rows.items():
+        print(f"{workload:>9}" + "".join(
+            f"{cells[m]:11.3f}" for m in MODELS))
+    means = {m: geomean(rows[w][m] for w in rows) for m in MODELS}
+    print(f"{'geomean':>9}" + "".join(f"{means[m]:11.3f}" for m in MODELS))
+
+    # Multipass persistence keeps execution energy near execute-once;
+    # runahead re-executes everything it pre-executed.
+    assert means["multipass"] < means["runahead"] * 0.9
+    assert means["multipass"] < 1.25
+    assert means["runahead"] > 1.2

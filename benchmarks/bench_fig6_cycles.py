@@ -1,0 +1,45 @@
+"""Figure 6: normalized execution cycles for base / multipass / OOO.
+
+Regenerates the stacked stall-breakdown bars (execution / front-end /
+other / load) for all twelve benchmarks and the Section 5.2 headline
+aggregates: multipass achieves a 1.36x average speedup (49% of total
+stall cycles removed) and ideal OOO is only 1.14x faster than multipass.
+"""
+
+from conftest import run_once
+
+from repro.harness import figure6
+
+
+def test_figure6(benchmark, trace_cache, scale):
+    result = run_once(benchmark, figure6, scale=scale, cache=trace_cache)
+    print()
+    print(result.text)
+    data = result.data
+    # Shape assertions: multipass sits between in-order and ideal OOO.
+    assert data["mp_speedup_geomean"] > 1.15
+    assert data["ooo_over_mp"] > 1.0
+    matrix = data["matrix"]
+    for workload in matrix.workloads():
+        assert matrix.speedup(workload, "multipass") >= 0.95
+        assert matrix.get(workload, "ooo").cycles <= \
+            matrix.get(workload, "multipass").cycles * 1.05
+
+
+def test_figure6_mcf_memory_stalls(benchmark, trace_cache, scale):
+    """The paper's mcf callout: a large memory-stall reduction."""
+    from repro.harness import run_model
+    from repro.pipeline import StallCategory
+
+    def compute():
+        trace = trace_cache.trace("mcf")
+        base = run_model("inorder", trace)
+        mp = run_model("multipass", trace)
+        return base, mp
+
+    base, mp = run_once(benchmark, compute)
+    reduction = 1 - mp.cycle_breakdown[StallCategory.LOAD] \
+        / base.cycle_breakdown[StallCategory.LOAD]
+    print(f"\nmcf memory-stall reduction under multipass: {reduction:.1%} "
+          f"[paper: 56%]")
+    assert reduction > 0.35

@@ -1,0 +1,23 @@
+"""Section 5.2: multipass vs a realistic out-of-order implementation.
+
+The realistic model uses three decentralized 16-entry scheduling queues
+(memory / integer / floating point), a speculative-wakeup bubble and
+conventional handling of predicated code.  The paper reports multipass
+achieving a 1.05x speedup over this model while keeping its power
+advantages.
+"""
+
+from conftest import run_once
+
+from repro.harness import realistic_ooo_comparison
+
+
+def test_realistic_ooo(benchmark, trace_cache, scale):
+    result = run_once(benchmark, realistic_ooo_comparison, scale=scale,
+                      cache=trace_cache)
+    print()
+    print(result.text)
+    ratio = result.data["mp_over_realistic"]
+    # Paper: 1.05.  The models should be close, with multipass not
+    # clearly losing (shape: near parity, far below the ideal-OOO gap).
+    assert 0.85 < ratio < 1.4

@@ -1,0 +1,19 @@
+"""Section 5.4: Dundas–Mudge runahead vs multipass.
+
+"Dundas-Mudge runahead was simulated separately ... but only reduced half
+as many cycles as multipass relative to in-order."
+"""
+
+from conftest import run_once
+
+from repro.harness import runahead_comparison
+
+
+def test_runahead_vs_multipass(benchmark, trace_cache, scale):
+    result = run_once(benchmark, runahead_comparison, scale=scale,
+                      cache=trace_cache)
+    print()
+    print(result.text)
+    # Runahead helps, but clearly less than multipass.
+    assert 0.0 < result.data["ra_reduction"] < result.data["mp_reduction"]
+    assert result.data["ratio"] < 0.85

@@ -1,0 +1,30 @@
+"""Table 1: power ratios of out-of-order to multipass structures.
+
+Peak ratios come from the Wattch-style structure models at maximum
+switching activity; average ratios additionally weight by simulated
+activity with linear clock gating (multipass structures are gated off in
+architectural mode).  Paper values: registers 0.99 / 1.20, scheduling
+10.28 / 7.15, memory-ordering 3.21 / 9.79.
+"""
+
+from conftest import run_once
+
+from repro.harness import table1
+from repro.power import PAPER_PEAK_RATIOS
+
+
+def test_table1(benchmark, trace_cache, scale):
+    result = run_once(benchmark, table1, scale=scale, cache=trace_cache)
+    print()
+    print(result.text)
+    peak = result.data["peak"]
+    average = result.data["average"]
+    # Peak ratios land in the paper's regime.
+    assert peak["registers"] == \
+        __import__("pytest").approx(PAPER_PEAK_RATIOS["registers"],
+                                    rel=0.25)
+    assert 7.0 < peak["scheduling"] < 14.0
+    assert 2.0 < peak["memory-ordering"] < 5.0
+    # Average ratios all favour multipass (ratio > 1).
+    for name, ratio in average.items():
+        assert ratio > 1.0, name

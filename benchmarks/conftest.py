@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's tables and figures at full workload
+scale by default; set ``REPRO_SCALE`` (e.g. ``REPRO_SCALE=0.2``) for a
+quick pass.  Figure benches run the whole experiment once inside
+``benchmark.pedantic`` and print the regenerated rows next to the paper's
+reported values.
+"""
+
+import os
+
+import pytest
+
+from repro.harness import TraceCache
+
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def trace_cache():
+    """One functional execution per workload, shared by all benches."""
+    return TraceCache(SCALE)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a whole-figure computation exactly once under the timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Deep dive into mcf — the paper's worst cache-miss benchmark.
+
+Reproduces the Section 5.2 callout (a large memory-stall reduction under
+multipass), shows the per-category cycle breakdown for every model,
+dissects multipass internals (passes, restarts, merges, value-based
+verification), and compares the Table 1 structure power of the multipass
+machine against the out-of-order machine on this workload.
+
+Run:  python examples/mcf_deep_dive.py [scale]
+"""
+
+import sys
+
+from repro.harness import TraceCache, run_model
+from repro.pipeline import StallCategory
+from repro.power import average_ratios, multipass_power, ooo_power
+
+
+def breakdown_line(stats, base_cycles):
+    cells = " ".join(
+        f"{category.value}={stats.cycle_breakdown[category] / base_cycles:6.3f}"
+        for category in StallCategory)
+    return (f"{stats.model:>14}: {stats.cycles:>8} cycles "
+            f"(norm {stats.cycles / base_cycles:5.3f})  {cells}")
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    cache = TraceCache(scale)
+    trace = cache.trace("mcf")
+    counts = trace.dynamic_counts()
+    print(f"mcf at scale {scale}: {counts['total']} dynamic instructions, "
+          f"{counts['loads']} loads, {counts['restarts']} dynamic RESTARTs")
+
+    print("\n-- cycle breakdowns (normalized to in-order) "
+          "---------------------------")
+    base = run_model("inorder", trace)
+    stats = {"inorder": base}
+    for model in ("multipass", "runahead", "ooo", "ooo-realistic"):
+        stats[model] = run_model(model, trace)
+    for model, s in stats.items():
+        print(breakdown_line(s, base.cycles))
+
+    mp = stats["multipass"]
+    mem_reduction = 1 - mp.cycle_breakdown[StallCategory.LOAD] \
+        / base.cycle_breakdown[StallCategory.LOAD]
+    stall_reduction = 1 - mp.stall_cycles / base.stall_cycles
+    print(f"\nmemory-stall reduction under multipass: {mem_reduction:.1%}"
+          f"  [paper: 56%]")
+    print(f"total-stall reduction under multipass:  {stall_reduction:.1%}"
+          f"  [paper: 47%]")
+
+    print("\n-- multipass internals "
+          "------------------------------------------------")
+    interesting = (
+        "advance_entries", "advance_restarts", "advance_executions",
+        "advance_deferrals", "advance_merges", "rally_merges",
+        "advance_load_misses", "sbit_loads", "sbit_verifications",
+        "value_flushes", "asc_forwards", "advance_wrong_path",
+    )
+    for key in interesting:
+        print(f"  {key:>22}: {mp.counters.get(key, 0)}")
+
+    print("\n-- Table 1 structure power on this run "
+          "--------------------------------")
+    mp_power = multipass_power(mp, trace)
+    ooo_power_bd = ooo_power(stats["ooo"], trace)
+    print(f"  multipass structures: {mp_power.total():8.3f} W "
+          f"({', '.join(f'{k}={v:.2f}' for k, v in mp_power.watts.items())})")
+    print(f"  OOO structures:       {ooo_power_bd.total():8.3f} W "
+          f"({', '.join(f'{k}={v:.2f}' for k, v in ooo_power_bd.watts.items())})")
+    ratios = average_ratios(ooo_power_bd, mp_power)
+    for row, ratio in ratios.items():
+        print(f"  average ratio, {row:>16}: {ratio:5.2f}x "
+              f"(OOO costs more when > 1)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Visualize the multipass pipeline's operating modes over time.
+
+Runs a workload on the multipass core with per-cycle mode recording
+(paper Fig. 3: architectural / advance / rally) and renders:
+
+* a mode strip over the whole run,
+* the DEQ (architectural) vs PEEK (advance) pointer excursion around one
+  advance episode,
+* the Fig. 6-style stacked stall bars for in-order vs multipass vs OOO.
+
+Run:  python examples/pipeline_viewer.py [workload] [scale]
+"""
+
+import sys
+
+from repro.harness import TraceCache, run_matrix, run_model
+from repro.harness.charts import fig6_chart, mode_strip, speedup_bars
+from repro.multipass import Mode, MultipassCore
+
+
+def pointer_excursion(core, width=64):
+    """Render the PEEK pointer's lead over DEQ around the first episode."""
+    advance_samples = [(cycle, arch, adv)
+                       for cycle, mode, arch, adv in core.mode_log
+                       if mode is Mode.ADVANCE]
+    if not advance_samples:
+        return "(no advance episode occurred)"
+    start = advance_samples[0][0]
+    window = [s for s in core.mode_log if start <= s[0] < start + width]
+    lines = [f"PEEK lead over DEQ, cycles {start}..{start + width} "
+             f"(one row per 4 cycles):"]
+    for cycle, mode, arch, adv in window[::4]:
+        lead = max(0, adv - arch)
+        lines.append(f"  cycle {cycle:>6} {mode.value[:4]:>4} "
+                     f"lead={lead:>3} |{'>' * min(60, lead)}")
+    return "\n".join(lines)
+
+
+def main():
+    workload = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.15
+    cache = TraceCache(scale)
+    trace = cache.trace(workload)
+
+    core = MultipassCore(trace, record_modes=True)
+    stats = core.run()
+    print(f"{workload} on the multipass core: {stats.cycles} cycles, "
+          f"{stats.counters['advance_entries']} advance episodes, "
+          f"{stats.counters['advance_restarts']} restarts\n")
+    print(mode_strip(core.mode_log))
+    print()
+    print(pointer_excursion(core))
+
+    print("\n" + "=" * 72)
+    matrix = run_matrix(("inorder", "multipass", "ooo"),
+                        workloads=(workload,), cache=cache)
+    print(fig6_chart(matrix))
+
+    base = matrix.get(workload, "inorder").cycles
+    speedups = {
+        model: base / run_model(model, trace).cycles
+        for model in ("multipass", "runahead", "twopass", "ooo",
+                      "ooo-realistic")
+    }
+    print("speedup over in-order:")
+    print(speedup_bars(speedups))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Calibration helper: per-workload stall shares and model speedups.
+
+Usage: python scripts/calibrate.py [workload ...] [--scale S]
+"""
+
+import argparse
+import time
+
+from repro.harness.experiment import TraceCache, geomean, run_model
+from repro.pipeline.stats import StallCategory
+from repro.workloads import ALL_WORKLOADS
+
+MODELS = ("multipass", "runahead", "ooo", "ooo-realistic")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("workloads", nargs="*", default=list(ALL_WORKLOADS))
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--models", nargs="*", default=list(MODELS))
+    args = parser.parse_args()
+    workloads = args.workloads or list(ALL_WORKLOADS)
+
+    cache = TraceCache(scale=args.scale)
+    speedups = {m: [] for m in args.models}
+    t0 = time.time()
+    print(f"{'workload':>8} {'ipc':>5} {'exec%':>6} {'fe%':>5} {'oth%':>5} "
+          f"{'load%':>6} | " + " ".join(f"{m:>13}" for m in args.models))
+    for workload in workloads:
+        trace = cache.trace(workload)
+        base = run_model("inorder", trace)
+        shares = {c: base.cycle_breakdown[c] / base.cycles
+                  for c in StallCategory}
+        cells = []
+        for model in args.models:
+            stats = run_model(model, trace)
+            speedup = base.cycles / stats.cycles
+            speedups[model].append(speedup)
+            cells.append(f"{speedup:13.2f}")
+        print(f"{workload:>8} {base.ipc:5.2f} "
+              f"{shares[StallCategory.EXECUTION]:6.1%} "
+              f"{shares[StallCategory.FRONT_END]:5.1%} "
+              f"{shares[StallCategory.OTHER]:5.1%} "
+              f"{shares[StallCategory.LOAD]:6.1%} | " + " ".join(cells))
+    if len(workloads) > 1:
+        means = " ".join(f"{geomean(speedups[m]):13.3f}"
+                         for m in args.models)
+        print(f"{'geomean':>8} {'':29} | {means}")
+    print(f"[{time.time() - t0:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so the
+package can be installed in environments without the ``wheel`` package
+(where PEP 660 editable installs fail): ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

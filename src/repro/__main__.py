@@ -1,0 +1,112 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``simulate`` — run one workload through one or more timing models.
+* ``compare``  — race all primary models on one workload.
+* ``workloads`` — list the packaged SPEC-like kernels.
+* ``models``    — list the available timing models.
+* ``figures``   — regenerate a paper figure/table by name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness import (ABLATION_FACTORIES, MODEL_FACTORIES, TraceCache,
+                      figure6, figure7, figure8, realistic_ooo_comparison,
+                      run_model, runahead_comparison, table1)
+from .workloads import ALL_WORKLOADS, registry
+
+_FIGURES = {
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+    "table1": table1,
+    "runahead": runahead_comparison,
+    "realistic-ooo": realistic_ooo_comparison,
+}
+
+
+def _cmd_workloads(_args) -> int:
+    for name, spec in sorted(registry().items()):
+        print(f"{name:>8}  [{spec.suite}]  {spec.description}")
+    return 0
+
+
+def _cmd_models(_args) -> int:
+    print("primary models:")
+    for name in MODEL_FACTORIES:
+        print(f"  {name}")
+    print("ablations / extensions:")
+    for name in ABLATION_FACTORIES:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    cache = TraceCache(args.scale)
+    trace = cache.trace(args.workload)
+    print(f"{args.workload}: {len(trace)} dynamic instructions "
+          f"(scale {args.scale})\n")
+    for model in args.models:
+        stats = run_model(model, trace)
+        print(stats.summary())
+        print()
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    cache = TraceCache(args.scale)
+    trace = cache.trace(args.workload)
+    base = run_model("inorder", trace)
+    print(f"{args.workload}: {len(trace)} dynamic instructions\n")
+    print(f"{'model':>20} {'cycles':>10} {'IPC':>6} {'speedup':>8}")
+    models = ["inorder", "multipass", "runahead", "twopass",
+              "ooo", "ooo-realistic"]
+    for model in models:
+        stats = base if model == "inorder" else run_model(model, trace)
+        print(f"{model:>20} {stats.cycles:>10} {stats.ipc:>6.2f} "
+              f"{base.cycles / stats.cycles:>7.2f}x")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    driver = _FIGURES[args.name]
+    result = driver(scale=args.scale)
+    print(result.text)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads").set_defaults(fn=_cmd_workloads)
+    sub.add_parser("models").set_defaults(fn=_cmd_models)
+
+    sim = sub.add_parser("simulate")
+    sim.add_argument("workload", choices=ALL_WORKLOADS)
+    sim.add_argument("--models", nargs="+", default=["multipass"],
+                     choices=sorted({**MODEL_FACTORIES,
+                                     **ABLATION_FACTORIES}))
+    sim.add_argument("--scale", type=float, default=0.25)
+    sim.set_defaults(fn=_cmd_simulate)
+
+    cmp_parser = sub.add_parser("compare")
+    cmp_parser.add_argument("workload", choices=ALL_WORKLOADS)
+    cmp_parser.add_argument("--scale", type=float, default=0.25)
+    cmp_parser.set_defaults(fn=_cmd_compare)
+
+    figures = sub.add_parser("figures")
+    figures.add_argument("name", choices=sorted(_FIGURES))
+    figures.add_argument("--scale", type=float, default=1.0)
+    figures.set_defaults(fn=_cmd_figures)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Branch prediction."""
+
+from .gshare import GsharePredictor
+
+__all__ = ["GsharePredictor"]

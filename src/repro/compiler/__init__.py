@@ -1,0 +1,19 @@
+"""Compiler middle-end: CFG, dataflow, SCC criticality, RESTART insertion,
+list scheduling and EPIC issue-group formation."""
+
+from .cfg import CFG, BasicBlock, build_cfg
+from .criticality import CriticalSCC, find_critical_sccs
+from .dataflow import DataflowGraph, build_dataflow_graph
+from .ifconvert import if_convert
+from .passes import CompileOptions, compile_program
+from .restart import insert_restarts
+from .scc import nontrivial_sccs, tarjan_scc
+from .scheduling import form_issue_groups, list_schedule
+
+__all__ = [
+    "BasicBlock", "CFG", "CompileOptions", "CriticalSCC", "DataflowGraph",
+    "build_cfg", "build_dataflow_graph", "compile_program",
+    "find_critical_sccs", "form_issue_groups", "if_convert",
+    "insert_restarts",
+    "list_schedule", "nontrivial_sccs", "tarjan_scc",
+]

@@ -1,0 +1,97 @@
+"""Control-flow graph construction over sealed programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..isa.opcodes import Opcode
+from ..isa.program import Program
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line region of the program.
+
+    Attributes:
+        bid: block id (ordinal in program order).
+        start: index of the first instruction.
+        end: one past the last instruction.
+        succs: successor block ids.
+        preds: predecessor block ids.
+    """
+
+    bid: int
+    start: int
+    end: int
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def indices(self) -> range:
+        return range(self.start, self.end)
+
+
+class CFG:
+    """Basic blocks plus the block containing each instruction."""
+
+    def __init__(self, program: Program, blocks: List[BasicBlock]):
+        self.program = program
+        self.blocks = blocks
+        self.block_of: Dict[int, int] = {}
+        for block in blocks:
+            for idx in block.indices():
+                self.block_of[idx] = block.bid
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+def build_cfg(program: Program) -> CFG:
+    """Partition ``program`` into basic blocks and connect the edges.
+
+    Leaders are: instruction 0, every branch target, and every instruction
+    following a branch.  HALT terminates a block with no successors.
+    """
+    n = len(program)
+    if n == 0:
+        return CFG(program, [])
+
+    leaders = {0}
+    for inst in program:
+        if inst.is_branch:
+            leaders.add(program.target_index(inst))
+            if inst.index + 1 < n:
+                leaders.add(inst.index + 1)
+        elif inst.opcode is Opcode.HALT and inst.index + 1 < n:
+            leaders.add(inst.index + 1)
+
+    starts = sorted(leaders)
+    blocks = []
+    for bid, start in enumerate(starts):
+        end = starts[bid + 1] if bid + 1 < len(starts) else n
+        blocks.append(BasicBlock(bid=bid, start=start, end=end))
+
+    start_to_bid = {b.start: b.bid for b in blocks}
+    for block in blocks:
+        last = program[block.end - 1]
+        succs = []
+        if last.opcode is Opcode.HALT:
+            pass
+        elif last.opcode is Opcode.JMP and not last.is_predicated:
+            succs.append(start_to_bid[program.target_index(last)])
+        elif last.is_branch:
+            succs.append(start_to_bid[program.target_index(last)])
+            if block.end < n:
+                succs.append(start_to_bid[block.end])
+        elif block.end < n:
+            succs.append(start_to_bid[block.end])
+        block.succs = succs
+        for succ in succs:
+            blocks[succ].preds.append(block.bid)
+    return CFG(program, blocks)

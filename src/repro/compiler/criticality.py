@@ -1,0 +1,82 @@
+"""Critical-load identification for advance restart (paper Section 3.3).
+
+    "During compile time, strongly connected components (SCCs) of the
+    data-flow graph are found: these components represent loop-carried data
+    flow.  If an SCC precedes a much larger number of multiple-cycle or
+    variable-latency (such as load) instructions than the SCC succeeds in
+    the dataflow graph, the loads in the SCC are considered critical.  A
+    RESTART is inserted after every load in the SCC, consuming the load's
+    destination."
+
+An SCC that *feeds* most of the expensive work in a loop body (e.g. the
+``node = node->next`` recurrence of mcf's pointer chasing) will, when it
+misses, poison essentially all subsequent advance execution — exactly when
+restarting the pass is the right move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+from ..isa.program import Program
+from .dataflow import DataflowGraph, build_dataflow_graph
+from .scc import nontrivial_sccs
+
+
+@dataclass
+class CriticalSCC:
+    """One loop-carried dataflow recurrence judged critical."""
+
+    members: List[int]
+    loads: List[int]
+    preceded: int   # expensive instructions data-flow *after* the SCC
+    succeeded: int  # expensive instructions data-flow *before* the SCC
+
+    @property
+    def dominance(self) -> float:
+        """How strongly the SCC feeds (vs consumes) expensive work."""
+        return self.preceded / max(1, self.succeeded)
+
+
+def _is_expensive(program: Program, idx: int) -> bool:
+    """Multi-cycle or variable-latency instruction (loads, mul/div, fp)."""
+    spec = program[idx].spec
+    return spec.variable_latency or spec.multi_cycle
+
+
+def find_critical_sccs(program: Program, graph: DataflowGraph = None,
+                       dominance_ratio: float = 2.0) -> List[CriticalSCC]:
+    """Return the SCCs whose loads should receive RESTART directives.
+
+    Args:
+        program: the (pre-scheduling) program.
+        graph: a prebuilt dataflow graph, rebuilt if omitted.
+        dominance_ratio: the "much larger" threshold — an SCC is critical
+            when it precedes at least ``dominance_ratio`` times as many
+            expensive instructions as succeed it in the dataflow graph.
+    """
+    graph = graph or build_dataflow_graph(program)
+    critical = []
+    for component in nontrivial_sccs(graph.adjacency()):
+        members = sorted(component)
+        member_set: Set[int] = set(members)
+        loads = [i for i in members if program[i].is_load]
+        if not loads:
+            continue
+
+        downstream: Set[int] = set()
+        upstream: Set[int] = set()
+        for member in members:
+            downstream |= graph.reachable_from(member)
+            upstream |= graph.reaching_to(member)
+        downstream -= member_set
+        upstream -= member_set
+
+        preceded = sum(1 for i in downstream if _is_expensive(program, i))
+        succeeded = sum(1 for i in upstream if _is_expensive(program, i))
+        scc = CriticalSCC(members=members, loads=loads,
+                          preceded=preceded, succeeded=succeeded)
+        if preceded >= dominance_ratio * max(1, succeeded):
+            critical.append(scc)
+    return critical

@@ -1,0 +1,134 @@
+"""Register dataflow analysis: reaching definitions and the def-use graph.
+
+The paper's advance-restart heuristic (Section 3.3) operates on the
+*data-flow graph* of the program, whose strongly connected components
+capture loop-carried dependences (e.g. the ``p = p->next`` recurrence of a
+pointer-chasing loop).  We build that graph with a classic iterative
+reaching-definitions analysis over the CFG, so that flow edges follow
+actual definition-use chains rather than mere register-name coincidence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..isa.program import Program
+from ..isa.registers import HARDWIRED
+from .cfg import CFG, build_cfg
+
+#: A definition site: (instruction index, register id).
+Definition = Tuple[int, int]
+
+
+class DataflowGraph:
+    """Def-use graph over static instructions.
+
+    ``succs[i]`` holds the indices of instructions that may consume a value
+    produced by instruction ``i`` along some CFG path (including
+    loop-carried paths).
+    """
+
+    def __init__(self, program: Program,
+                 succs: Dict[int, Set[int]],
+                 preds: Dict[int, Set[int]]):
+        self.program = program
+        self.succs = succs
+        self.preds = preds
+
+    def adjacency(self) -> Dict[int, Set[int]]:
+        """Adjacency map suitable for :func:`repro.compiler.scc.tarjan_scc`."""
+        return self.succs
+
+    def reachable_from(self, start: int) -> Set[int]:
+        """All instructions data-flow reachable from ``start`` (exclusive)."""
+        return self._reach(start, self.succs)
+
+    def reaching_to(self, start: int) -> Set[int]:
+        """All instructions from which ``start`` is reachable (exclusive)."""
+        return self._reach(start, self.preds)
+
+    @staticmethod
+    def _reach(start: int, adj: Dict[int, Set[int]]) -> Set[int]:
+        seen: Set[int] = set()
+        stack = list(adj.get(start, ()))
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adj.get(node, ()))
+        seen.discard(start)
+        return seen
+
+
+def _defs_and_uses(program: Program):
+    """Per-instruction written and read register sets (hardwired excluded)."""
+    defs: List[Tuple[int, ...]] = []
+    uses: List[Tuple[int, ...]] = []
+    for inst in program:
+        defs.append(tuple(d for d in inst.dests if d not in HARDWIRED))
+        uses.append(tuple(s for s in inst.read_regs() if s not in HARDWIRED))
+    return defs, uses
+
+
+def build_dataflow_graph(program: Program, cfg: CFG = None) -> DataflowGraph:
+    """Compute the def-use graph via iterative reaching definitions."""
+    cfg = cfg or build_cfg(program)
+    defs, uses = _defs_and_uses(program)
+
+    # GEN/KILL per block, operating on definition sites.
+    all_defs_of_reg: Dict[int, Set[Definition]] = {}
+    for idx, dest_regs in enumerate(defs):
+        for reg in dest_regs:
+            all_defs_of_reg.setdefault(reg, set()).add((idx, reg))
+
+    gen: List[Set[Definition]] = []
+    kill: List[Set[Definition]] = []
+    for block in cfg:
+        g: Dict[int, Definition] = {}
+        k: Set[Definition] = set()
+        for idx in block.indices():
+            for reg in defs[idx]:
+                k |= all_defs_of_reg[reg]
+                g[reg] = (idx, reg)
+        gen.append(set(g.values()))
+        kill.append(k - set(g.values()))
+
+    # Iterate IN/OUT to fixpoint.
+    n_blocks = len(cfg)
+    block_in: List[FrozenSet[Definition]] = [frozenset()] * n_blocks
+    block_out: List[FrozenSet[Definition]] = [
+        frozenset(gen[b]) for b in range(n_blocks)
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg:
+            bid = block.bid
+            new_in: Set[Definition] = set()
+            for pred in block.preds:
+                new_in |= block_out[pred]
+            frozen_in = frozenset(new_in)
+            if frozen_in != block_in[bid]:
+                block_in[bid] = frozen_in
+            new_out = (new_in - kill[bid]) | gen[bid]
+            frozen_out = frozenset(new_out)
+            if frozen_out != block_out[bid]:
+                block_out[bid] = frozen_out
+                changed = True
+
+    # Walk each block once more to connect definitions to uses.
+    succs: Dict[int, Set[int]] = {i: set() for i in range(len(program))}
+    preds: Dict[int, Set[int]] = {i: set() for i in range(len(program))}
+    for block in cfg:
+        live: Dict[int, Set[int]] = {}
+        for def_idx, reg in block_in[block.bid]:
+            live.setdefault(reg, set()).add(def_idx)
+        for idx in block.indices():
+            for reg in uses[idx]:
+                for def_idx in live.get(reg, ()):
+                    succs[def_idx].add(idx)
+                    preds[idx].add(def_idx)
+            for reg in defs[idx]:
+                live[reg] = {idx}
+    return DataflowGraph(program, succs, preds)

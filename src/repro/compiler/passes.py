@@ -1,0 +1,55 @@
+"""Compilation driver: the pass pipeline every workload goes through.
+
+Mirrors the paper's toolchain at the granularity the simulators care about:
+OpenIMPACT's aggressive acyclic scheduling becomes :func:`list_schedule`,
+critical-instruction identification + RESTART insertion implements
+Section 3.3, and EPIC issue-group formation provides the stop bits the
+in-order dispersal logic consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.program import Program
+from ..resources import PortModel
+from .ifconvert import if_convert
+from .restart import insert_restarts
+from .scheduling import form_issue_groups, list_schedule
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Knobs for the pass pipeline.
+
+    Attributes:
+        if_conversion: if-convert short forward hammocks into predicated
+            code before scheduling (hyperblock-formation lite; off by
+            default).
+        reorder: run the block-local list scheduler.
+        restarts: insert RESTART directives after critical-SCC loads.
+        dominance_ratio: criticality threshold (Section 3.3's "much
+            larger"); an SCC is critical when it feeds at least this many
+            times more expensive instructions than feed it.
+        ports: issue-port model used for scheduling and grouping.
+    """
+
+    if_conversion: bool = False
+    reorder: bool = True
+    restarts: bool = True
+    dominance_ratio: float = 2.0
+    ports: PortModel = PortModel()
+
+
+def compile_program(program: Program,
+                    options: CompileOptions = CompileOptions()) -> Program:
+    """Run the full pass pipeline and return the schedulable program."""
+    result = program
+    if options.if_conversion:
+        result = if_convert(result)
+    if options.reorder:
+        result = list_schedule(result, options.ports)
+    if options.restarts:
+        result = insert_restarts(result, options.dominance_ratio)
+    result = form_issue_groups(result, options.ports)
+    return result

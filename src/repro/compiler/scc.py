@@ -1,0 +1,93 @@
+"""Iterative Tarjan strongly-connected-components algorithm.
+
+Used by the advance-restart pass to find loop-carried dataflow recurrences
+(paper Section 3.3).  Iterative formulation so deep dependence chains in
+large generated kernels cannot overflow Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set
+
+Node = Hashable
+
+
+def tarjan_scc(adjacency: Dict[Node, Iterable[Node]]) -> List[List[Node]]:
+    """Return SCCs of the directed graph, in reverse topological order.
+
+    Args:
+        adjacency: node -> iterable of successor nodes.  Nodes appearing
+            only as successors are included implicitly.
+
+    Returns:
+        A list of components; each is a list of member nodes.  Components
+        are emitted callees-first (reverse topological order of the
+        condensation), matching classic Tarjan.
+    """
+    nodes: Set[Node] = set(adjacency)
+    for targets in adjacency.values():
+        nodes.update(targets)
+
+    index_of: Dict[Node, int] = {}
+    lowlink: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    stack: List[Node] = []
+    result: List[List[Node]] = []
+    counter = [0]
+
+    def neighbours(node: Node):
+        return adjacency.get(node, ())
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        # Each work item: (node, iterator over remaining successors).
+        work = [(root, iter(neighbours(root)))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(neighbours(succ))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result
+
+
+def nontrivial_sccs(adjacency: Dict[Node, Iterable[Node]]
+                    ) -> List[List[Node]]:
+    """SCCs that represent actual cycles: size > 1, or self loops."""
+    components = []
+    for comp in tarjan_scc(adjacency):
+        if len(comp) > 1:
+            components.append(comp)
+        else:
+            node = comp[0]
+            if node in set(adjacency.get(node, ())):
+                components.append(comp)
+    return components

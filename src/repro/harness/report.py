@@ -1,0 +1,97 @@
+"""Result formatting: Fig. 6-style breakdown tables and speedup summaries."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..pipeline.stats import SimStats, StallCategory
+from .experiment import Matrix, geomean
+
+_CATEGORIES = [StallCategory.EXECUTION, StallCategory.FRONT_END,
+               StallCategory.OTHER, StallCategory.LOAD]
+
+
+def breakdown_row(stats: SimStats, baseline_cycles: int) -> Dict[str, float]:
+    """One stacked bar of Fig. 6: per-category share of baseline cycles."""
+    normalized = stats.normalized_breakdown(baseline_cycles)
+    row = {cat.value: normalized[cat] for cat in _CATEGORIES}
+    row["total"] = stats.cycles / baseline_cycles
+    return row
+
+
+def fig6_table(matrix: Matrix, models: Iterable[str] = ("inorder",
+                                                        "multipass",
+                                                        "ooo")) -> str:
+    """Render the Fig. 6 normalized-execution-cycles table."""
+    models = list(models)
+    lines = [
+        "Normalized execution cycles (stacked by stall category; "
+        "1.00 = in-order baseline)",
+        f"{'workload':>9} {'model':>10} {'exec':>6} {'front':>6} "
+        f"{'other':>6} {'load':>6} {'total':>6}",
+    ]
+    for workload in matrix.workloads():
+        base_cycles = matrix.get(workload, "inorder").cycles
+        for model in models:
+            stats = matrix.get(workload, model)
+            row = breakdown_row(stats, base_cycles)
+            lines.append(
+                f"{workload:>9} {model:>10} "
+                f"{row['execution']:6.3f} {row['front-end']:6.3f} "
+                f"{row['other']:6.3f} {row['load']:6.3f} "
+                f"{row['total']:6.3f}")
+    return "\n".join(lines)
+
+
+def speedup_table(matrix: Matrix, models: Iterable[str],
+                  baseline: str = "inorder",
+                  title: Optional[str] = None) -> str:
+    """Per-workload and geomean speedups of ``models`` over ``baseline``."""
+    models = list(models)
+    header = f"{'workload':>9}" + "".join(f" {m:>14}" for m in models)
+    lines = [title or f"Speedup over {baseline}", header]
+    for workload in matrix.workloads():
+        cells = "".join(
+            f" {matrix.speedup(workload, m, baseline):14.3f}"
+            for m in models)
+        lines.append(f"{workload:>9}{cells}")
+    means = "".join(
+        f" {geomean(matrix.speedup(w, m, baseline) for w in matrix.workloads()):14.3f}"
+        for m in models)
+    lines.append(f"{'geomean':>9}{means}")
+    return "\n".join(lines)
+
+
+def stall_reduction(stats: SimStats, baseline: SimStats) -> float:
+    """Fraction of the baseline's stall cycles a model eliminates."""
+    base_stalls = baseline.stall_cycles
+    if base_stalls == 0:
+        return 0.0
+    return 1.0 - stats.stall_cycles / base_stalls
+
+
+def summarize_headline(matrix: Matrix) -> Dict[str, float]:
+    """The paper's headline numbers from a base/MP/OOO (+others) matrix."""
+    workloads = matrix.workloads()
+    summary: Dict[str, float] = {}
+    models = matrix.models()
+    if "multipass" in models:
+        summary["mp_speedup_geomean"] = geomean(
+            matrix.speedup(w, "multipass") for w in workloads)
+        summary["mp_stall_reduction_mean"] = sum(
+            stall_reduction(matrix.get(w, "multipass"),
+                            matrix.get(w, "inorder"))
+            for w in workloads) / len(workloads)
+    if "ooo" in models and "multipass" in models:
+        summary["ooo_over_mp_geomean"] = geomean(
+            matrix.get(w, "multipass").cycles / matrix.get(w, "ooo").cycles
+            for w in workloads)
+    if "runahead" in models:
+        summary["runahead_speedup_geomean"] = geomean(
+            matrix.speedup(w, "runahead") for w in workloads)
+    if "ooo-realistic" in models and "multipass" in models:
+        summary["mp_over_realistic_ooo_geomean"] = geomean(
+            matrix.get(w, "ooo-realistic").cycles
+            / matrix.get(w, "multipass").cycles
+            for w in workloads)
+    return summary

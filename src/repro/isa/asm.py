@@ -1,0 +1,140 @@
+"""Textual assembly parser — round-trips ``Program.render()`` output.
+
+The syntax is the one produced by :meth:`Instruction.render`::
+
+    loop:
+        ld r4 = r2, 0
+        (p1) add r1 = r1, r4 ;;
+        cmplti p1 = r3, 1
+        br p1?  -- no; branches render as:  br 'loop'
+        halt
+
+Grammar per line (after stripping comments introduced by ``#``)::
+
+    [label:]*
+    [(pN)] mnemonic [dests =] [srcs] [, imm] [, target] [;;]
+
+The parser exists for tests, examples and for writing small kernels as
+strings; workloads use :class:`~repro.isa.builder.ProgramBuilder`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from .instruction import Instruction
+from .opcodes import MNEMONIC_TO_OPCODE, spec_of
+from .program import Program, ProgramError
+from .registers import TRUE_PRED, parse_reg
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):$")
+_PRED_RE = re.compile(r"^\((p\d+)\)$")
+
+
+class AsmError(ProgramError):
+    """Raised on malformed assembly text."""
+
+
+def _parse_operand(token: str):
+    """Classify one operand token: register id, immediate, or label."""
+    token = token.strip()
+    try:
+        return ("reg", parse_reg(token))
+    except ValueError:
+        pass
+    try:
+        return ("imm", int(token, 0))
+    except ValueError:
+        pass
+    try:
+        return ("imm", float(token))
+    except ValueError:
+        pass
+    if token.startswith("'") and token.endswith("'"):
+        return ("label", token[1:-1])
+    if re.fullmatch(r"[A-Za-z_][\w.]*", token):
+        return ("label", token)
+    raise AsmError(f"cannot parse operand {token!r}")
+
+
+def _parse_line(line: str, lineno: int) -> Instruction:
+    stop = False
+    if line.endswith(";;"):
+        stop = True
+        line = line[:-2].strip()
+
+    pred = TRUE_PRED
+    match = _PRED_RE.match(line.split()[0]) if line else None
+    if match:
+        pred = parse_reg(match.group(1))
+        line = line[line.index(")") + 1:].strip()
+
+    if not line:
+        raise AsmError(f"line {lineno}: empty instruction")
+    mnemonic, _, rest = line.partition(" ")
+    opcode = MNEMONIC_TO_OPCODE.get(mnemonic)
+    if opcode is None:
+        raise AsmError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+
+    dest_text, eq, src_text = rest.partition("=")
+    if not eq:
+        dest_text, src_text = "", rest
+
+    dests = tuple(
+        parse_reg(tok.strip())
+        for tok in dest_text.split(",") if tok.strip()
+    )
+    srcs: List[int] = []
+    imm = None
+    target: Optional[str] = None
+    for tok in src_text.split(","):
+        tok = tok.strip()
+        if not tok:
+            continue
+        kind, value = _parse_operand(tok)
+        if kind == "reg":
+            srcs.append(value)
+        elif kind == "imm":
+            imm = value
+        else:
+            target = value
+
+    spec = spec_of(opcode)
+    if spec.is_branch and target is None:
+        raise AsmError(f"line {lineno}: branch without target")
+    if spec.has_imm and imm is None:
+        imm = 0
+    return Instruction(opcode, dests, tuple(srcs), imm=imm, pred=pred,
+                       target=target, stop=stop)
+
+
+def parse_asm(text: str, name: str = "asm",
+              memory_image: Optional[Dict[int, object]] = None) -> Program:
+    """Parse assembly ``text`` into a sealed :class:`Program`."""
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        while True:
+            match = _LABEL_RE.match(line.split()[0]) if line else None
+            if match is None:
+                # A label may share a line with an instruction.
+                head, _, tail = line.partition(":")
+                if tail and re.fullmatch(r"[A-Za-z_][\w.]*", head):
+                    labels[head] = len(instructions)
+                    line = tail.strip()
+                    if not line:
+                        break
+                    continue
+                break
+            labels[match.group(1)] = len(instructions)
+            line = line[len(match.group(0)):].strip()
+            if not line:
+                break
+        if line:
+            instructions.append(_parse_line(line, lineno))
+    return Program(name=name, instructions=instructions, labels=labels,
+                   memory_image=dict(memory_image or {}))

@@ -1,0 +1,181 @@
+"""Opcode definitions, latencies and functional-unit classes.
+
+Latencies follow the experimental machine of the paper (Table 2): a 6-issue
+EPIC core with an Itanium-2-like functional-unit distribution.  Single-cycle
+integer ALU operations, multi-cycle multiplies/divides and floating-point
+arithmetic (whose stalls the paper attributes to the *other* category), and
+variable-latency loads (the *load* category).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FUClass(enum.Enum):
+    """Functional-unit class an opcode executes on.
+
+    The dispersal model mirrors Itanium 2's port structure: memory ops
+    require an M port, integer ALU ops can use M or I ports, floating point
+    uses F ports and branches use B ports.
+    """
+
+    ALU = "alu"        # single-cycle integer
+    MULDIV = "muldiv"  # multi-cycle integer (executes on the FP unit)
+    MEM = "mem"        # loads/stores
+    FP = "fp"          # floating-point arithmetic
+    BR = "br"          # branches
+    NONE = "none"      # NOP / RESTART / HALT — consume an issue slot only
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static properties of one opcode."""
+
+    mnemonic: str
+    fu: FUClass
+    latency: int
+    is_load: bool = False
+    is_store: bool = False
+    is_branch: bool = False
+    writes_pred: bool = False
+    has_imm: bool = False
+
+    @property
+    def variable_latency(self) -> bool:
+        """True for operations whose latency depends on run-time state."""
+        return self.is_load
+
+    @property
+    def multi_cycle(self) -> bool:
+        """True for fixed-latency operations longer than one cycle."""
+        return self.latency > 1 and not self.is_load
+
+
+class Opcode(enum.Enum):
+    """All opcodes of the target ISA."""
+
+    # Integer ALU (1 cycle).
+    ADD = enum.auto()
+    ADDI = enum.auto()
+    SUB = enum.auto()
+    SUBI = enum.auto()
+    AND = enum.auto()
+    ANDI = enum.auto()
+    OR = enum.auto()
+    XOR = enum.auto()
+    XORI = enum.auto()
+    SHL = enum.auto()
+    SHLI = enum.auto()
+    SHR = enum.auto()
+    SHRI = enum.auto()
+    MOV = enum.auto()
+    MOVI = enum.auto()
+    # Integer compares — write a predicate register.
+    CMPEQ = enum.auto()
+    CMPNE = enum.auto()
+    CMPLT = enum.auto()
+    CMPLE = enum.auto()
+    CMPEQI = enum.auto()
+    CMPNEI = enum.auto()
+    CMPLTI = enum.auto()
+    CMPLEI = enum.auto()
+    # Multi-cycle integer (issue on the FP/long-latency pipe).
+    MUL = enum.auto()
+    DIV = enum.auto()
+    # Floating point.
+    FADD = enum.auto()
+    FSUB = enum.auto()
+    FMUL = enum.auto()
+    FDIV = enum.auto()
+    FMOV = enum.auto()
+    FMOVI = enum.auto()
+    FCMPLT = enum.auto()
+    FCMPLE = enum.auto()
+    CVTIF = enum.auto()  # int -> fp
+    CVTFI = enum.auto()  # fp -> int (truncating)
+    # Memory (32-bit words; fp loads/stores move one fp value).
+    LD = enum.auto()
+    ST = enum.auto()
+    FLD = enum.auto()
+    FST = enum.auto()
+    # Control.
+    BR = enum.auto()    # branch to label if qualifying predicate is true
+    JMP = enum.auto()   # unconditional branch
+    HALT = enum.auto()
+    # Pipeline directives.
+    NOP = enum.auto()
+    RESTART = enum.auto()  # multipass advance-restart marker (Section 3.3)
+
+
+_ALU = FUClass.ALU
+_MEM = FUClass.MEM
+_FP = FUClass.FP
+_BR = FUClass.BR
+_MD = FUClass.MULDIV
+_NONE = FUClass.NONE
+
+#: Latency of fixed multi-cycle operations, tunable per machine config but
+#: given sensible Itanium-2-flavoured defaults here.
+MUL_LATENCY = 4
+DIV_LATENCY = 16
+FP_LATENCY = 4
+FDIV_LATENCY = 16
+
+OP_SPECS: dict[Opcode, OpSpec] = {
+    Opcode.ADD: OpSpec("add", _ALU, 1),
+    Opcode.ADDI: OpSpec("addi", _ALU, 1, has_imm=True),
+    Opcode.SUB: OpSpec("sub", _ALU, 1),
+    Opcode.SUBI: OpSpec("subi", _ALU, 1, has_imm=True),
+    Opcode.AND: OpSpec("and", _ALU, 1),
+    Opcode.ANDI: OpSpec("andi", _ALU, 1, has_imm=True),
+    Opcode.OR: OpSpec("or", _ALU, 1),
+    Opcode.XOR: OpSpec("xor", _ALU, 1),
+    Opcode.XORI: OpSpec("xori", _ALU, 1, has_imm=True),
+    Opcode.SHL: OpSpec("shl", _ALU, 1),
+    Opcode.SHLI: OpSpec("shli", _ALU, 1, has_imm=True),
+    Opcode.SHR: OpSpec("shr", _ALU, 1),
+    Opcode.SHRI: OpSpec("shri", _ALU, 1, has_imm=True),
+    Opcode.MOV: OpSpec("mov", _ALU, 1),
+    Opcode.MOVI: OpSpec("movi", _ALU, 1, has_imm=True),
+    Opcode.CMPEQ: OpSpec("cmpeq", _ALU, 1, writes_pred=True),
+    Opcode.CMPNE: OpSpec("cmpne", _ALU, 1, writes_pred=True),
+    Opcode.CMPLT: OpSpec("cmplt", _ALU, 1, writes_pred=True),
+    Opcode.CMPLE: OpSpec("cmple", _ALU, 1, writes_pred=True),
+    Opcode.CMPEQI: OpSpec("cmpeqi", _ALU, 1, writes_pred=True, has_imm=True),
+    Opcode.CMPNEI: OpSpec("cmpnei", _ALU, 1, writes_pred=True, has_imm=True),
+    Opcode.CMPLTI: OpSpec("cmplti", _ALU, 1, writes_pred=True, has_imm=True),
+    Opcode.CMPLEI: OpSpec("cmplei", _ALU, 1, writes_pred=True, has_imm=True),
+    Opcode.MUL: OpSpec("mul", _MD, MUL_LATENCY),
+    Opcode.DIV: OpSpec("div", _MD, DIV_LATENCY),
+    Opcode.FADD: OpSpec("fadd", _FP, FP_LATENCY),
+    Opcode.FSUB: OpSpec("fsub", _FP, FP_LATENCY),
+    Opcode.FMUL: OpSpec("fmul", _FP, FP_LATENCY),
+    Opcode.FDIV: OpSpec("fdiv", _FP, FDIV_LATENCY),
+    Opcode.FMOV: OpSpec("fmov", _FP, 1),
+    Opcode.FMOVI: OpSpec("fmovi", _FP, 1, has_imm=True),
+    Opcode.FCMPLT: OpSpec("fcmplt", _FP, 1, writes_pred=True),
+    Opcode.FCMPLE: OpSpec("fcmple", _FP, 1, writes_pred=True),
+    Opcode.CVTIF: OpSpec("cvtif", _FP, FP_LATENCY),
+    Opcode.CVTFI: OpSpec("cvtfi", _FP, FP_LATENCY),
+    Opcode.LD: OpSpec("ld", _MEM, 1, is_load=True, has_imm=True),
+    Opcode.ST: OpSpec("st", _MEM, 1, is_store=True, has_imm=True),
+    Opcode.FLD: OpSpec("fld", _MEM, 1, is_load=True, has_imm=True),
+    Opcode.FST: OpSpec("fst", _MEM, 1, is_store=True, has_imm=True),
+    Opcode.BR: OpSpec("br", _BR, 1, is_branch=True),
+    Opcode.JMP: OpSpec("jmp", _BR, 1, is_branch=True),
+    Opcode.HALT: OpSpec("halt", _NONE, 1),
+    Opcode.NOP: OpSpec("nop", _NONE, 1),
+    Opcode.RESTART: OpSpec("restart", _NONE, 1),
+}
+
+#: mnemonic -> Opcode, for the assembler round-trip.
+MNEMONIC_TO_OPCODE: dict[str, Opcode] = {
+    spec.mnemonic: op for op, spec in OP_SPECS.items()
+}
+
+
+def spec_of(op: Opcode) -> OpSpec:
+    """Return the :class:`OpSpec` for ``op``."""
+    return OP_SPECS[op]

@@ -1,0 +1,113 @@
+"""Static program representation: instructions, labels, initial memory.
+
+A :class:`Program` is an immutable-once-sealed sequence of
+:class:`~repro.isa.instruction.Instruction` objects plus a label map for
+branch targets and an initial data-memory image (word addressed, 4-byte
+words, byte addresses that must be 4-aligned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from .instruction import Instruction
+from .opcodes import Opcode
+
+WORD_SIZE = 4
+
+
+class ProgramError(Exception):
+    """Raised for malformed programs (unknown labels, bad addresses)."""
+
+
+@dataclass
+class Program:
+    """A sealed static program.
+
+    Attributes:
+        name: human-readable program/workload name.
+        instructions: the instruction sequence.
+        labels: label name -> instruction index.
+        memory_image: initial data memory, word address -> value.  Values
+            may be Python ints (integer words) or floats (fp words).
+        metadata: free-form notes (workload knobs, footprint size, ...).
+    """
+
+    name: str
+    instructions: List[Instruction]
+    labels: Dict[str, int]
+    memory_image: Dict[int, object] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for i, inst in enumerate(self.instructions):
+            inst.index = i
+        self._validate()
+
+    def _validate(self) -> None:
+        n = len(self.instructions)
+        for label, idx in self.labels.items():
+            if not 0 <= idx <= n:
+                raise ProgramError(f"label {label!r} out of range: {idx}")
+        for inst in self.instructions:
+            if inst.is_branch and inst.target not in self.labels:
+                raise ProgramError(
+                    f"branch at {inst.index} targets unknown label "
+                    f"{inst.target!r}"
+                )
+        for addr in self.memory_image:
+            if addr % WORD_SIZE != 0:
+                raise ProgramError(f"unaligned memory-image address: {addr}")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def target_index(self, inst: Instruction) -> int:
+        """Resolve the instruction index a branch jumps to."""
+        if inst.target is None:
+            raise ProgramError(f"instruction at {inst.index} has no target")
+        return self.labels[inst.target]
+
+    def restart_count(self) -> int:
+        """Number of RESTART directives present (after compilation)."""
+        return sum(
+            1 for i in self.instructions if i.opcode is Opcode.RESTART
+        )
+
+    def render(self) -> str:
+        """Render the whole program as assembly text."""
+        by_index: Dict[int, List[str]] = {}
+        for label, idx in self.labels.items():
+            by_index.setdefault(idx, []).append(label)
+        lines = []
+        for inst in self.instructions:
+            for label in sorted(by_index.get(inst.index, ())):
+                lines.append(f"{label}:")
+            lines.append(f"    {inst.render()}")
+        for label in sorted(by_index.get(len(self.instructions), ())):
+            lines.append(f"{label}:")
+        return "\n".join(lines)
+
+    def static_load_indices(self) -> List[int]:
+        """Indices of all static load instructions."""
+        return [i.index for i in self.instructions if i.is_load]
+
+
+def word_addr(index: int, base: int = 0) -> int:
+    """Byte address of the ``index``-th word starting at byte ``base``."""
+    return base + index * WORD_SIZE
+
+
+def check_alignment(addr: int, context: Optional[str] = None) -> int:
+    """Validate that ``addr`` is word aligned; return it unchanged."""
+    if addr % WORD_SIZE != 0:
+        where = f" in {context}" if context else ""
+        raise ProgramError(f"unaligned address {addr}{where}")
+    return addr

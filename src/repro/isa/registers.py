@@ -1,0 +1,92 @@
+"""Register namespace for the EPIC target ISA.
+
+The simulated architecture (modelled loosely on Itanium 2, per the paper's
+Section 4) exposes 128 integer registers, 128 floating-point registers and
+64 predicate registers.  All three classes share a single flat numeric
+namespace so that scoreboards, rename maps and A-bit vectors can be plain
+arrays indexed by register id:
+
+* ``0 .. 127``    integer registers ``r0..r127`` (``r0`` is hard-wired zero)
+* ``128 .. 255``  floating-point registers ``f0..f127``
+* ``256 .. 319``  predicate registers ``p0..p63`` (``p0`` is hard-wired true)
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 128
+NUM_FP_REGS = 128
+NUM_PRED_REGS = 64
+
+INT_BASE = 0
+FP_BASE = NUM_INT_REGS
+PRED_BASE = NUM_INT_REGS + NUM_FP_REGS
+
+#: Total size of the flat register namespace.
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS + NUM_PRED_REGS
+
+#: ``r0`` — architecturally reads as integer zero and ignores writes.
+ZERO_REG = INT_BASE
+#: ``p0`` — architecturally reads as true and ignores writes.
+TRUE_PRED = PRED_BASE
+
+#: Register ids whose value is architecturally constant.
+HARDWIRED = frozenset((ZERO_REG, TRUE_PRED))
+
+
+def R(index: int) -> int:
+    """Return the flat register id of integer register ``r<index>``."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return INT_BASE + index
+
+
+def F(index: int) -> int:
+    """Return the flat register id of floating-point register ``f<index>``."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return FP_BASE + index
+
+
+def P(index: int) -> int:
+    """Return the flat register id of predicate register ``p<index>``."""
+    if not 0 <= index < NUM_PRED_REGS:
+        raise ValueError(f"predicate register index out of range: {index}")
+    return PRED_BASE + index
+
+
+def is_int_reg(reg: int) -> bool:
+    """True if ``reg`` names an integer register."""
+    return INT_BASE <= reg < FP_BASE
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True if ``reg`` names a floating-point register."""
+    return FP_BASE <= reg < PRED_BASE
+
+
+def is_pred_reg(reg: int) -> bool:
+    """True if ``reg`` names a predicate register."""
+    return PRED_BASE <= reg < NUM_REGS
+
+
+def reg_name(reg: int) -> str:
+    """Render a flat register id in assembly syntax (``r3``/``f9``/``p2``)."""
+    if is_int_reg(reg):
+        return f"r{reg - INT_BASE}"
+    if is_fp_reg(reg):
+        return f"f{reg - FP_BASE}"
+    if is_pred_reg(reg):
+        return f"p{reg - PRED_BASE}"
+    raise ValueError(f"not a register id: {reg}")
+
+
+def parse_reg(text: str) -> int:
+    """Parse assembly syntax (``r3``/``f9``/``p2``) into a flat register id."""
+    if len(text) < 2 or text[0] not in "rfp" or not text[1:].isdigit():
+        raise ValueError(f"not a register name: {text!r}")
+    index = int(text[1:])
+    if text[0] == "r":
+        return R(index)
+    if text[0] == "f":
+        return F(index)
+    return P(index)

@@ -1,0 +1,126 @@
+"""Dynamic-trace representation consumed by all timing models.
+
+The reproduction is *trace driven*: the functional simulator executes a
+program once (the golden run) and records one :class:`TraceEntry` per
+retired instruction.  Timing models (in-order, multipass, runahead,
+out-of-order) replay the entries, which carry everything timing needs —
+register dependences, effective memory addresses and values, and branch
+outcomes.  Replaying the architected path is the standard trace-driven
+approximation; wrong-path effects of advance execution are modelled by the
+cores themselves (see :mod:`repro.multipass.core`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .instruction import Instruction
+from .opcodes import FUClass, Opcode
+from .program import Program
+
+
+class TraceEntry:
+    """One dynamically retired instruction.
+
+    Attributes:
+        inst: the static instruction.
+        seq: dynamic sequence number (position in the trace).
+        dests: registers actually written (empty when predicated off).
+        srcs: registers actually read, including the qualifying predicate.
+        addr: effective byte address for executed memory operations.
+        value: value loaded (loads) or stored (stores).
+        taken: branch outcome (branches only).
+        executed: False when the qualifying predicate nullified the
+            instruction; nullified instructions occupy issue slots but have
+            no dataflow effects beyond reading their predicate.
+    """
+
+    __slots__ = ("inst", "seq", "dests", "srcs", "addr", "value", "taken",
+                 "executed")
+
+    def __init__(self, inst: Instruction, seq: int,
+                 dests: Tuple[int, ...], srcs: Tuple[int, ...],
+                 addr: Optional[int] = None, value: object = None,
+                 taken: bool = False, executed: bool = True):
+        self.inst = inst
+        self.seq = seq
+        self.dests = dests
+        self.srcs = srcs
+        self.addr = addr
+        self.value = value
+        self.taken = taken
+        self.executed = executed
+
+    @property
+    def is_load(self) -> bool:
+        return self.executed and self.inst.spec.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.executed and self.inst.spec.is_store
+
+    @property
+    def is_branch(self) -> bool:
+        return self.inst.spec.is_branch
+
+    @property
+    def is_restart(self) -> bool:
+        return self.inst.opcode is Opcode.RESTART
+
+    @property
+    def latency(self) -> int:
+        """Fixed execution latency; loads get theirs from the caches."""
+        return self.inst.spec.latency
+
+    @property
+    def fu(self) -> FUClass:
+        return self.inst.spec.fu
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = "" if self.executed else " [nullified]"
+        return f"<#{self.seq} {self.inst.render()}{tag}>"
+
+
+class Trace:
+    """A complete golden-run trace plus final architectural state."""
+
+    def __init__(self, program: Program, entries: List[TraceEntry],
+                 final_registers: Dict[int, object],
+                 final_memory: Dict[int, object],
+                 truncated: bool = False):
+        self.program = program
+        self.entries = entries
+        self.final_registers = final_registers
+        self.final_memory = final_memory
+        self.truncated = truncated
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __getitem__(self, idx: int) -> TraceEntry:
+        return self.entries[idx]
+
+    def dynamic_counts(self) -> Dict[str, int]:
+        """Summary counts by instruction kind (for workload inspection)."""
+        counts = {"total": len(self.entries), "loads": 0, "stores": 0,
+                  "branches": 0, "fp": 0, "muldiv": 0, "nullified": 0,
+                  "restarts": 0}
+        for e in self.entries:
+            if not e.executed:
+                counts["nullified"] += 1
+            if e.is_load:
+                counts["loads"] += 1
+            elif e.is_store:
+                counts["stores"] += 1
+            elif e.is_branch:
+                counts["branches"] += 1
+            if e.fu is FUClass.FP:
+                counts["fp"] += 1
+            elif e.fu is FUClass.MULDIV:
+                counts["muldiv"] += 1
+            if e.is_restart:
+                counts["restarts"] += 1
+        return counts

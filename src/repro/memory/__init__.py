@@ -1,0 +1,14 @@
+"""Memory subsystem: caches, MSHRs and the evaluated hierarchies."""
+
+from .cache import Cache, CacheConfig
+from .configs import (HIERARCHIES, base_hierarchy, config1_hierarchy,
+                      config2_hierarchy)
+from .hierarchy import (AccessResult, HierarchyConfig, HierarchyStats,
+                        MemoryHierarchy)
+from .mshr import MSHRFile
+
+__all__ = [
+    "AccessResult", "Cache", "CacheConfig", "HIERARCHIES",
+    "HierarchyConfig", "HierarchyStats", "MSHRFile", "MemoryHierarchy",
+    "base_hierarchy", "config1_hierarchy", "config2_hierarchy",
+]

@@ -1,0 +1,102 @@
+"""Set-associative LRU cache model.
+
+Timing is handled by :class:`~repro.memory.hierarchy.MemoryHierarchy`; this
+class models placement/replacement state and hit/miss outcomes only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level.
+
+    ``latency`` is the *total* load-to-use latency of a hit at this level,
+    as reported in Table 2 (L1 1 cycle, L2 5, L3 12).
+    """
+
+    name: str
+    size_bytes: int
+    line_size: int
+    assoc: int
+    latency: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_size * self.assoc):
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"line*assoc ({self.line_size}x{self.assoc})"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_size * self.assoc)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+
+class Cache:
+    """LRU state for one level; addresses are byte addresses."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._sets: List[Dict[int, int]] = [
+            {} for _ in range(config.num_sets)
+        ]
+        self._clock = 0
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, addr: int):
+        line = addr // self.config.line_size
+        return self._sets[line % self.config.num_sets], line
+
+    def probe(self, addr: int) -> bool:
+        """Non-destructive presence check (no LRU update, no stats)."""
+        cache_set, line = self._locate(addr)
+        return line in cache_set
+
+    def access(self, addr: int) -> bool:
+        """Look up ``addr``; returns hit/miss and updates LRU and stats.
+
+        Misses do NOT allocate — the hierarchy calls :meth:`fill` when the
+        line arrives so that replacement happens at fill time.
+        """
+        self.accesses += 1
+        self._clock += 1
+        cache_set, line = self._locate(addr)
+        if line in cache_set:
+            cache_set[line] = self._clock
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, addr: int) -> Optional[int]:
+        """Install the line containing ``addr``; return the evicted line."""
+        self._clock += 1
+        cache_set, line = self._locate(addr)
+        if line in cache_set:
+            cache_set[line] = self._clock
+            return None
+        victim = None
+        if len(cache_set) >= self.config.assoc:
+            victim = min(cache_set, key=cache_set.get)
+            del cache_set[victim]
+        cache_set[line] = self._clock
+        return victim
+
+    def invalidate_all(self) -> None:
+        """Flush all contents (used between experiment repetitions)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,60 @@
+"""The three memory hierarchies of the evaluation.
+
+* ``base``    — Table 2: 16 KB 4-way L1 (1 cycle), 256 KB 8-way L2
+  (5 cycles), 3 MB 12-way L3 (12 cycles), 145-cycle main memory.
+* ``config1`` — Fig. 7: base caches with 200-cycle main memory.
+* ``config2`` — Fig. 7: 8 KB L1 (1 cycle), 128 KB L2 (7 cycles),
+  1.5 MB L3 (16 cycles), 200-cycle main memory.
+"""
+
+from __future__ import annotations
+
+from .cache import CacheConfig
+from .hierarchy import HierarchyConfig
+
+KB = 1024
+MB = 1024 * KB
+
+
+def base_hierarchy() -> HierarchyConfig:
+    """The contemporary (Itanium-2-like) hierarchy of Table 2."""
+    return HierarchyConfig(
+        name="base",
+        l1i=CacheConfig("L1I", 16 * KB, 64, 4, 1),
+        l1d=CacheConfig("L1D", 16 * KB, 64, 4, 1),
+        l2=CacheConfig("L2", 256 * KB, 128, 8, 5),
+        l3=CacheConfig("L3", 3 * MB, 128, 12, 12),
+        memory_latency=145,
+        max_outstanding_misses=16,
+    )
+
+
+def config1_hierarchy() -> HierarchyConfig:
+    """Fig. 7 config1: base caches, 200-cycle main memory."""
+    base = base_hierarchy()
+    return HierarchyConfig(
+        name="config1",
+        l1i=base.l1i, l1d=base.l1d, l2=base.l2, l3=base.l3,
+        memory_latency=200,
+        max_outstanding_misses=base.max_outstanding_misses,
+    )
+
+
+def config2_hierarchy() -> HierarchyConfig:
+    """Fig. 7 config2: smaller, slower caches and 200-cycle main memory."""
+    return HierarchyConfig(
+        name="config2",
+        l1i=CacheConfig("L1I", 8 * KB, 64, 4, 1),
+        l1d=CacheConfig("L1D", 8 * KB, 64, 4, 1),
+        l2=CacheConfig("L2", 128 * KB, 128, 8, 7),
+        l3=CacheConfig("L3", int(1.5 * MB), 128, 12, 16),
+        memory_latency=200,
+        max_outstanding_misses=16,
+    )
+
+
+HIERARCHIES = {
+    "base": base_hierarchy,
+    "config1": config1_hierarchy,
+    "config2": config2_hierarchy,
+}

@@ -1,0 +1,13 @@
+"""Multipass pipelining: the paper's primary contribution."""
+
+from .asc import (HIT, HIT_INVALID, INVALID, MISS, MISS_SPECULATIVE,
+                  AdvanceStoreCache)
+from .core import Mode, MultipassCore, simulate_multipass
+from .result_store import ResultStore, RSEntry
+from .twopass import TwoPassCore, simulate_twopass
+
+__all__ = [
+    "AdvanceStoreCache", "HIT", "HIT_INVALID", "INVALID", "MISS",
+    "MISS_SPECULATIVE", "Mode", "MultipassCore", "RSEntry", "ResultStore",
+    "simulate_multipass", "TwoPassCore", "simulate_twopass",
+]

@@ -1,0 +1,687 @@
+"""The multipass pipeline (paper Sections 3.1–3.6).
+
+One physical in-order pipeline operating in three modes:
+
+* **architectural** — conventional in-order issue; multipass structures
+  are clock gated.
+* **advance** — triggered when an architectural instruction stalls on an
+  unready load result.  Subsequent instructions are released speculatively
+  via the PEEK pointer: instructions with valid operands execute (their
+  results preserved in the result store and speculative register file),
+  instructions with invalid operands are suppressed and poison their
+  consumers, loads prefetch and — when they miss the L1 — defer their
+  consumers to a later pass (the Section 3.5 WAW rule).  A compiler-placed
+  ``RESTART`` whose operand is unready rewinds the pass to the trigger.
+* **rally** — entered when the triggering operand arrives: the
+  architectural stream re-issues, merging preserved results (issue
+  regrouping packs them densely), re-performing data-speculative loads
+  with value-based verification, and falling back to advance mode when it
+  stalls on another unready load.  When the DEQ pointer catches the
+  farthest PEEK point the pipeline returns to architectural mode.
+
+Ablation flags reproduce Figure 8 (``enable_regroup``/``enable_restart``),
+and disabling result persistence (``persist_results=False``) with both
+ablations yields the Dundas–Mudge runahead model of Figure 1(b).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Set
+
+from ..isa.opcodes import FUClass, Opcode
+from ..isa.trace import Trace, TraceEntry
+from ..machine import MachineConfig
+from ..pipeline.base import BaseCore, SimulationDiverged
+from ..pipeline.stats import SimStats, StallCategory
+from .asc import (HIT, HIT_INVALID, INVALID, MISS_SPECULATIVE,
+                  AdvanceStoreCache)
+from .result_store import ResultStore, RSEntry
+
+
+class Mode(enum.Enum):
+    ARCHITECTURAL = "architectural"
+    ADVANCE = "advance"
+    RALLY = "rally"
+
+
+class MultipassCore(BaseCore):
+    """Cycle-level model of the multipass pipeline."""
+
+    model_name = "multipass"
+
+    def __init__(self, trace: Trace, config: Optional[MachineConfig] = None,
+                 enable_regroup: bool = True, enable_restart: bool = True,
+                 persist_results: bool = True,
+                 l1_miss_writes_srf: bool = False,
+                 hardware_restart: bool = False,
+                 hw_restart_window: int = 16,
+                 hw_restart_fraction: float = 0.125,
+                 record_modes: bool = False):
+        config = config or MachineConfig()
+        super().__init__(trace, config, config.multipass_queue_size)
+        self.enable_regroup = enable_regroup
+        self.enable_restart = enable_restart
+        self.persist_results = persist_results
+        #: Section 3.5 ablation: the paper's design suppresses the SRF
+        #: write-back of advance loads that miss the L1 (avoiding WAW
+        #: hazards entirely); setting this models the more complex
+        #: alternative that writes the SRF and lets in-flight consumers
+        #: wait for the fill instead of deferring to a later pass.
+        self.l1_miss_writes_srf = l1_miss_writes_srf
+        #: Paper footnote 1: "A hardware mechanism could also have been
+        #: used to detect these situations."  When enabled, a pass that
+        #: has processed at least ``hw_restart_window`` non-merge slots
+        #: with fewer than ``hw_restart_fraction`` of them executing —
+        #: and that has an in-flight fill to wait for — restarts itself,
+        #: scheduled for the earliest arriving operand.
+        self.hardware_restart = hardware_restart
+        self.hw_restart_window = hw_restart_window
+        self.hw_restart_fraction = hw_restart_fraction
+        self._pass_execs = 0
+        self._pass_defers = 0
+        #: Optional per-cycle mode log [(cycle, Mode, arch_ptr, adv_ptr)]
+        #: for visualization (see examples/pipeline_viewer.py); off by
+        #: default to keep the simulation loop lean.
+        self.record_modes = record_modes
+        self.mode_log = []
+
+        self.rs = ResultStore(config.multipass_queue_size)
+        self.asc = AdvanceStoreCache(config.asc_entries, config.asc_assoc)
+        # Committed memory image, used to observe the (possibly stale)
+        # value a data-speculative advance load would actually read.
+        self.mem_vals: Dict[int, object] = dict(trace.program.memory_image)
+
+        self.mode = Mode.ARCHITECTURAL
+        self.arch_ptr = 0            # DEQ pointer (trace sequence index)
+        self.adv_ptr = 0             # PEEK pointer
+        self.max_peek = 0            # farthest advance point reached
+        self.trigger_seq = -1
+        self.trigger_ready = 0
+
+        # Per-pass advance state (the SRF + A/I bits and friends).
+        self.adv_reg: Dict[int, int] = {}   # A-bit set -> SRF ready cycle
+        self.poison: Set[int] = set()       # I-bit poisoned registers
+        # Known return times for poisoned values (in-flight fills): used
+        # to schedule advance restarts so the restarted instruction meets
+        # its input at the REG stage (paper footnote 2).
+        self.poison_ready: Dict[int, int] = {}
+        self.unknown_store = False          # a deferred store's address
+        self.pass_dead = False              # advance went down a wrong path
+        self.adv_stall_until = 0
+        self.arch_stall_until = 0
+
+    # ------------------------------------------------------------------
+    # mode transitions
+    # ------------------------------------------------------------------
+
+    def _enter_advance(self, trigger: TraceEntry, wait_until: int,
+                       now: int) -> None:
+        """Architectural stall on a load: start (or re-start) preexecution."""
+        self.mode = Mode.ADVANCE
+        self.trigger_seq = trigger.seq
+        self.trigger_ready = wait_until
+        self.adv_ptr = trigger.seq
+        self.adv_stall_until = now + self.config.advance_entry_delay
+        self._reset_pass_state()
+        self.stats.counters["advance_entries"] += 1
+
+    def _reset_pass_state(self) -> None:
+        self._pass_execs = 0
+        self._pass_defers = 0
+        self.adv_reg.clear()
+        self.poison.clear()
+        self.poison_ready.clear()
+        self.asc.clear()
+        self.unknown_store = False
+        self.pass_dead = False
+
+    def _advance_restart(self, now: int,
+                         operand_ready: Optional[int] = None) -> None:
+        """Rewind the advance pass to the trigger (Section 3.3).
+
+        When the unready operand's return time is known (an in-flight
+        fill), the restarted pass is scheduled to arrive with it rather
+        than spinning (paper footnote 2's PEEK-redirect refinement).
+        """
+        self._reset_pass_state()
+        self.adv_ptr = self.trigger_seq
+        refill = now + self.config.advance_restart_refill
+        if operand_ready is not None:
+            refill = max(refill, operand_ready
+                         - self.config.advance_restart_refill)
+        self.adv_stall_until = refill
+        self.stats.counters["advance_restarts"] += 1
+
+    def _enter_rally(self, now: int) -> None:
+        """The trigger operand arrived: resume the architectural stream.
+
+        Multipass resumes instantly: the latched architectural-stream
+        instructions are unlatched and displace the advance instructions
+        in their stages (Section 3.1.3).  Runahead overrides this with a
+        checkpoint-restore penalty.
+        """
+        self.mode = Mode.RALLY
+        self._reset_pass_state()
+
+    # ------------------------------------------------------------------
+    # advance-mode operand resolution
+    # ------------------------------------------------------------------
+
+    def _advance_source_state(self, entry: TraceEntry, now: int):
+        """Classify an advance instruction's operands.
+
+        Returns ``(status, wait_until)`` where status is one of
+        ``"ready"``, ``"wait"`` (a fixed-latency producer is in flight —
+        the in-order advance stream waits for its bypass) or
+        ``"invalid"`` (a poisoned or cache-missing producer: suppress).
+        """
+        wait_until = now
+        for src in entry.srcs:
+            adv_ready = self.adv_reg.get(src)
+            if adv_ready is not None:          # A-bit: read the SRF value
+                if adv_ready > now:
+                    wait_until = max(wait_until, adv_ready)
+                continue
+            if src in self.poison:             # I-bit
+                return "invalid", now
+            arch_ready = self.reg_ready.get(src, 0)
+            if arch_ready > now:
+                if src in self.load_miss_pending and \
+                        self.load_miss_pending[src] > now:
+                    return "invalid", now      # missing load: defer
+                wait_until = max(wait_until, arch_ready)
+        if wait_until > now:
+            return "wait", wait_until
+        return "ready", now
+
+    # ------------------------------------------------------------------
+    # advance-mode issue
+    # ------------------------------------------------------------------
+
+    def _issue_advance_cycle(self, now: int) -> int:
+        """Issue one advance-mode cycle; returns number of new executions."""
+        if self.pass_dead or now < self.adv_stall_until:
+            return 0
+        entries = self.trace.entries
+        frontend = self.frontend
+        tracker = self.config.ports.new_tracker()
+        window_end = min(len(entries), frontend.fetched_until,
+                         self.arch_ptr + self.buffer_size)
+        slots = 0
+        new_execs = 0
+        width = self.config.ports.width
+
+        while self.adv_ptr < window_end and slots < width:
+            entry = entries[self.adv_ptr]
+            seq = entry.seq
+            self.stats.counters["iq_peeks"] += 1
+
+            rs_entry = self.rs.get(seq) if self.persist_results else None
+            if rs_entry is not None:
+                if rs_entry.ready > now:
+                    # Result (typically a missing load from an earlier
+                    # pass) still in flight: consumers stay deferred.
+                    for dest in entry.dests:
+                        self.poison.add(dest)
+                        self.poison_ready[dest] = rs_entry.ready
+                        self.adv_reg.pop(dest, None)
+                    self.adv_ptr += 1
+                    slots += 1
+                    continue
+                # Preserved result: no re-execution, breaks dependences.
+                for dest in entry.dests:
+                    self.adv_reg[dest] = now
+                    self.poison.discard(dest)
+                self.stats.counters["advance_merges"] += 1
+                self.adv_ptr += 1
+                slots += 1
+                continue
+
+            if entry.is_restart and self.enable_restart:
+                status, _ = self._advance_source_state(entry, now)
+                if status in ("invalid", "wait"):
+                    hints = []
+                    for src in entry.srcs:
+                        if src in self.poison_ready:
+                            hints.append(self.poison_ready[src])
+                        elif src in self.load_miss_pending:
+                            hints.append(self.load_miss_pending[src])
+                    self._advance_restart(now, max(hints, default=None)
+                                          if hints else None)
+                    return new_execs
+                self.adv_ptr += 1
+                slots += 1
+                continue
+
+            status, wait_until = self._advance_source_state(entry, now)
+            if status == "wait":
+                break  # in-order advance stream waits for a bypass
+
+            if status == "invalid":
+                new_execs += self._defer_advance(entry, now)
+                self._pass_defers += 1
+                slots += 1
+                if self.pass_dead:
+                    break
+                continue
+
+            # Valid operands: execute speculatively.
+            fu = self.issue_fu(entry)
+            if not tracker.can_issue(fu):
+                break
+            tracker.issue(fu)
+            executed = self._execute_advance(entry, now)
+            new_execs += executed
+            self._pass_execs += executed
+            slots += 1
+            if self.pass_dead:
+                break
+        if self.hardware_restart and not self.pass_dead:
+            self._maybe_hardware_restart(now)
+        return new_execs
+
+    def _maybe_hardware_restart(self, now: int) -> None:
+        """Footnote-1 mechanism: restart a fruitless pass on its own.
+
+        Fires when the current pass is dominated by deferrals and a
+        poisoned value has a known arrival time to rendezvous with;
+        without an in-flight fill nothing would change, so the pass is
+        left to keep prefetching instead.
+        """
+        processed = self._pass_execs + self._pass_defers
+        if processed < self.hw_restart_window:
+            return
+        if self._pass_execs >= processed * self.hw_restart_fraction:
+            return
+        pending = [t for t in self.poison_ready.values() if t > now]
+        if not pending:
+            return
+        self._advance_restart(now, min(pending))
+        self.stats.counters["hardware_restarts"] += 1
+
+    def _defer_advance(self, entry: TraceEntry, now: int) -> int:
+        """Suppress an advance instruction with invalid operands."""
+        self.stats.counters["advance_deferrals"] += 1
+        for dest in entry.dests:
+            self.poison.add(dest)
+            self.adv_reg.pop(dest, None)
+        inst = entry.inst
+        if inst.is_branch:
+            # Direction unknown: follow the prediction.  When it disagrees
+            # with the actual outcome the advance stream has gone down the
+            # wrong path and the rest of this pass is unproductive.
+            if not self.predictor.peek_correct(inst.index, entry.taken):
+                self.pass_dead = True
+                self.stats.counters["advance_wrong_path"] += 1
+        elif entry.is_store:
+            data_reg, base_reg = inst.srcs[0], inst.srcs[1]
+            if self._advance_reg_invalid(base_reg, now) or \
+                    (entry.addr is None):
+                self.unknown_store = True
+                self.stats.counters["unknown_address_stores"] += 1
+            elif self._advance_reg_invalid(data_reg, now):
+                self.asc.write(entry.addr, INVALID)
+        self.adv_ptr += 1
+        return 0
+
+    def _advance_reg_invalid(self, reg: int, now: int) -> bool:
+        if reg in self.adv_reg:
+            return False
+        if reg in self.poison:
+            return True
+        return (self.reg_ready.get(reg, 0) > now
+                and reg in self.load_miss_pending
+                and self.load_miss_pending[reg] > now)
+
+    def _execute_advance(self, entry: TraceEntry, now: int) -> int:
+        """Execute one valid advance instruction; returns 1 if it counts
+        as a new execution."""
+        inst = entry.inst
+        seq = entry.seq
+        self.stats.counters["advance_executions"] += 1
+
+        if not entry.executed:
+            # Predicate-nullified: flows through, nothing to preserve.
+            if self.persist_results:
+                self.rs.put(RSEntry(seq, now + 1,
+                                    resolved_branch=entry.is_branch))
+            if entry.is_branch:
+                self._resolve_advance_branch(entry, now)
+            self.adv_ptr += 1
+            return 1
+
+        if inst.is_branch:
+            self._resolve_advance_branch(entry, now)
+            if self.persist_results:
+                self.rs.put(RSEntry(seq, now + 1, resolved_branch=True))
+            self.adv_ptr += 1
+            return 1
+
+        if entry.is_store:
+            self.asc.write(entry.addr, entry.value)
+            self.stats.counters["advance_stores"] += 1
+            if self.persist_results:
+                self.rs.put(RSEntry(seq, now + 1, addr=entry.addr,
+                                    is_store=True))
+            self.adv_ptr += 1
+            return 1
+
+        if entry.is_load:
+            self._execute_advance_load(entry, now)
+            self.adv_ptr += 1
+            return 1
+
+        # ALU / FP / mul-div / nop.
+        latency = inst.spec.latency
+        for dest in entry.dests:
+            self.adv_reg[dest] = now + latency
+            self.poison.discard(dest)
+            self.poison_ready.pop(dest, None)
+        if self.persist_results and (entry.dests or inst.opcode is
+                                     Opcode.NOP):
+            self.rs.put(RSEntry(seq, now + latency))
+        self.adv_ptr += 1
+        return 1
+
+    def _resolve_advance_branch(self, entry: TraceEntry, now: int) -> None:
+        """A branch with valid operands resolves during preexecution.
+
+        The predictor is trained early; if it would have mispredicted, the
+        *advance* stream pays the redirect penalty now and the
+        architectural stream later merges the resolved branch with no
+        flush — the source of multipass front-end-stall reduction.
+        """
+        correct = self.predictor.update(entry.inst.index,
+                                        entry.taken and entry.executed)
+        self.stats.counters["advance_branches"] += 1
+        if not correct:
+            self.adv_stall_until = max(
+                self.adv_stall_until,
+                now + self.config.mispredict_penalty)
+            self.stats.counters["advance_redirects"] += 1
+
+    def _execute_advance_load(self, entry: TraceEntry, now: int) -> None:
+        """Advance load: ASC forwarding, prefetch, WAW rule, S-bits."""
+        addr = entry.addr
+        outcome, _forwarded = self.asc.read(addr)
+        result = self.hierarchy.access(addr, now)   # prefetch effect
+        self.stats.counters["advance_loads"] += 1
+
+        if outcome == HIT:
+            for dest in entry.dests:
+                self.adv_reg[dest] = now + 1
+                self.poison.discard(dest)
+                self.poison_ready.pop(dest, None)
+            if self.persist_results:
+                self.rs.put(RSEntry(entry.seq, now + 1, value=entry.value,
+                                    addr=addr))
+            self.stats.counters["asc_forwards"] += 1
+            return
+        if outcome == HIT_INVALID:
+            for dest in entry.dests:
+                self.poison.add(dest)
+                self.adv_reg.pop(dest, None)
+            return
+
+        data_speculative = self.unknown_store or outcome == MISS_SPECULATIVE
+        observed = (self.mem_vals.get(addr, 0) if data_speculative
+                    else entry.value)
+        l1_hit = not result.l1_miss
+        if self.persist_results:
+            self.rs.put(RSEntry(entry.seq, result.ready,
+                                sbit=data_speculative, value=observed,
+                                addr=addr))
+        if data_speculative:
+            self.stats.counters["sbit_loads"] += 1
+        if l1_hit:
+            for dest in entry.dests:
+                self.adv_reg[dest] = result.ready
+                self.poison.discard(dest)
+                self.poison_ready.pop(dest, None)
+        elif self.l1_miss_writes_srf:
+            # Ablation of the Section 3.5 WAW rule: expose the fill time
+            # through the SRF so in-flight consumers wait for the bypass.
+            self.stats.counters["advance_load_misses"] += 1
+            for dest in entry.dests:
+                self.adv_reg[dest] = result.ready
+                self.poison.discard(dest)
+                self.poison_ready.pop(dest, None)
+        else:
+            # Section 3.5: L1-missing advance loads do not write the SRF;
+            # consumers defer to a later pass (the RS catches the fill).
+            self.stats.counters["advance_load_misses"] += 1
+            for dest in entry.dests:
+                self.poison.add(dest)
+                self.poison_ready[dest] = result.ready
+                self.adv_reg.pop(dest, None)
+
+    # ------------------------------------------------------------------
+    # architectural / rally issue
+    # ------------------------------------------------------------------
+
+    def _issue_arch_cycle(self, now: int):
+        """Issue one architectural/rally cycle.
+
+        Returns ``(issued, reason, wait_until, trigger_entry)``; a non-None
+        trigger entry means the cycle ended on a load stall and advance
+        mode should begin.
+        """
+        entries = self.trace.entries
+        frontend = self.frontend
+        tracker = self.config.ports.new_tracker()
+        width = self.config.ports.width
+        issued = 0
+        reason = None
+        wait_until = now + 1
+        trigger = None
+        rallying = self.arch_ptr < self.max_peek
+        dynamic_groups = self.enable_regroup and rallying
+
+        while self.arch_ptr < frontend.fetched_until and issued < width:
+            entry = entries[self.arch_ptr]
+            inst = entry.inst
+            seq = entry.seq
+            self.stats.counters["iq_dequeues"] += 1
+
+            rs_entry = self.rs.peek(seq) if self.persist_results else None
+            if rs_entry is not None and rs_entry.done(now) \
+                    and not rs_entry.sbit:
+                self._merge_committed(entry, rs_entry, now)
+                issued += 1
+                self.arch_ptr += 1
+                if not dynamic_groups and inst.stop:
+                    break
+                continue
+
+            if rs_entry is not None and rs_entry.done(now) and rs_entry.sbit:
+                if not tracker.can_issue(FUClass.MEM):
+                    reason = StallCategory.OTHER
+                    break
+                tracker.issue(FUClass.MEM)
+                flushed = self._verify_speculative_load(entry, rs_entry,
+                                                        now)
+                issued += 1
+                self.arch_ptr += 1
+                if flushed:
+                    reason = StallCategory.OTHER
+                    wait_until = self.arch_stall_until
+                    break
+                if not dynamic_groups and inst.stop:
+                    break
+                continue
+
+            if rs_entry is not None and not rs_entry.done(now):
+                # Preserved result still in flight (missing load from an
+                # earlier pass): the rally stream stalls on it without
+                # re-executing, and the stall re-triggers advance mode so
+                # preexecution continues beyond it.
+                reason = StallCategory.LOAD
+                wait_until = rs_entry.ready
+                trigger = entry
+                break
+
+            # Normal in-order execution.
+            fu = self.issue_fu(entry)
+            if not tracker.can_issue(fu):
+                reason = StallCategory.OTHER
+                break
+            unready = self.unready_sources(entry, now)
+            if unready:
+                reason, wait_until = self.classify_wait(unready, now)
+                if reason is StallCategory.LOAD:
+                    trigger = entry
+                break
+
+            latency = inst.spec.latency
+            l1_miss = False
+            if entry.executed and inst.is_mem:
+                if entry.is_load:
+                    result = self.hierarchy.access(entry.addr, now)
+                    latency = result.latency
+                    l1_miss = result.l1_miss
+                    self.stats.counters["loads_issued"] += 1
+                    if l1_miss:
+                        self.stats.counters["l1d_load_misses"] += 1
+                else:
+                    self.hierarchy.access(entry.addr, now, kind="store")
+                    self.mem_vals[entry.addr] = entry.value
+
+            waw = [d for d in entry.dests
+                   if self.reg_ready.get(d, 0) > now + latency]
+            if waw:
+                reason, wait_until = self.classify_wait(waw, now)
+                self.stats.counters["waw_stalls"] += 1
+                break
+
+            tracker.issue(fu)
+            self.writeback(entry, now, latency, l1_miss)
+            self.stats.instructions += 1
+            issued += 1
+            self.arch_ptr += 1
+            if entry.is_branch:
+                if frontend.resolve_branch(entry, now):
+                    self.stats.counters["mispredicts"] += 1
+                    self.rs.clear_from(seq + 1)
+                    self.max_peek = min(self.max_peek, seq + 1)
+                    break
+            if inst.stop and not dynamic_groups:
+                break
+        return issued, reason, wait_until, trigger
+
+    def _merge_committed(self, entry: TraceEntry, rs_entry: RSEntry,
+                         now: int) -> None:
+        """Commit a preserved result without re-execution."""
+        self.rs.pop(entry.seq)
+        self.stats.counters["rally_merges"] += 1
+        self.stats.instructions += 1
+        for dest in entry.dests:
+            self.reg_ready[dest] = now
+            self.load_miss_pending.pop(dest, None)
+        if rs_entry.is_store:
+            # Pre-executed stores re-perform their access in rally mode
+            # using the SMAQ address (Section 3.6).
+            self.hierarchy.access(rs_entry.addr, now, kind="store")
+            self.mem_vals[rs_entry.addr] = entry.value
+            self.stats.counters["smaq_reads"] += 1
+        if entry.is_branch:
+            self.frontend.resolve_branch(entry, now, already_resolved=True)
+
+    def _verify_speculative_load(self, entry: TraceEntry,
+                                 rs_entry: RSEntry, now: int) -> bool:
+        """Re-perform a data-speculative load; flush on value mismatch."""
+        self.rs.pop(entry.seq)
+        self.stats.counters["sbit_verifications"] += 1
+        self.stats.counters["smaq_reads"] += 1
+        result = self.hierarchy.access(rs_entry.addr, now)
+        if rs_entry.value == entry.value:
+            self.stats.instructions += 1
+            self.writeback(entry, now, result.latency, result.l1_miss)
+            return False
+        # Mismatch: squash everything younger and re-execute it.
+        self.stats.counters["value_flushes"] += 1
+        self.stats.instructions += 1
+        self.writeback(entry, now, result.latency, result.l1_miss)
+        self.rs.clear_from(entry.seq + 1)
+        self.max_peek = min(self.max_peek, entry.seq + 1)
+        self.arch_stall_until = now + self.config.flush_penalty
+        return True
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 500_000_000) -> SimStats:
+        entries = self.trace.entries
+        n = len(entries)
+        frontend = self.frontend
+        now = 0
+
+        while self.arch_ptr < n:
+            if now > max_cycles:
+                raise SimulationDiverged(
+                    f"multipass exceeded {max_cycles} cycles on "
+                    f"{self.trace.program.name}"
+                )
+            frontend.tick(now, self.arch_ptr)
+
+            if self.mode is Mode.ADVANCE and now >= self.trigger_ready:
+                self._enter_rally(now)
+            if self.record_modes:
+                self.mode_log.append((now, self.mode, self.arch_ptr,
+                                      self.adv_ptr))
+
+            if self.mode is Mode.ADVANCE:
+                new_execs = self._issue_advance_cycle(now)
+                self.max_peek = max(self.max_peek, self.adv_ptr)
+                if new_execs:
+                    self.stats.charge(StallCategory.EXECUTION)
+                else:
+                    # No new executions: the cycle belongs to the latency
+                    # that initiated advance mode.
+                    self.stats.charge(StallCategory.LOAD)
+                self.stats.counters["advance_cycles"] += 1
+                now += 1
+                continue
+
+            if now < self.arch_stall_until:
+                self.stats.charge(StallCategory.OTHER)
+                now += 1
+                continue
+
+            issued, reason, wait_until, trigger = self._issue_arch_cycle(now)
+            if self.mode is Mode.RALLY:
+                self.stats.counters["rally_cycles"] += 1
+                if self.arch_ptr >= self.max_peek and \
+                        self.rs.max_seq() < self.arch_ptr:
+                    self.mode = Mode.ARCHITECTURAL
+
+            if issued:
+                self.stats.charge(StallCategory.EXECUTION)
+            elif self.arch_ptr >= frontend.fetched_until:
+                self.stats.charge(StallCategory.FRONT_END)
+            else:
+                self.stats.charge(reason or StallCategory.OTHER)
+            now += 1
+
+            if trigger is not None and wait_until > now:
+                self._enter_advance(trigger, wait_until, now)
+
+        return self.finalize()
+
+    def finalize(self) -> SimStats:
+        stats = super().finalize()
+        stats.counters["rs_writes"] = self.rs.writes
+        stats.counters["rs_reads"] = self.rs.reads
+        stats.counters["asc_writes"] = self.asc.writes
+        stats.counters["asc_reads"] = self.asc.reads
+        return stats
+
+
+def simulate_multipass(trace: Trace,
+                       config: Optional[MachineConfig] = None,
+                       enable_regroup: bool = True,
+                       enable_restart: bool = True) -> SimStats:
+    """Run the multipass model over ``trace``."""
+    return MultipassCore(trace, config, enable_regroup=enable_regroup,
+                         enable_restart=enable_restart).run()

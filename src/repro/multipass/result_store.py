@@ -1,0 +1,99 @@
+"""Result store (RS) and speculative memory address queue (SMAQ).
+
+The result store preserves valid advance-execution results across advance
+passes and into rally mode (paper Section 3.1.2).  Entries correspond 1:1
+with instruction-queue slots; here they are keyed by dynamic trace sequence
+number, with the owning core enforcing the queue-capacity window.  An entry
+is *done* (its E-bit set) once its ``ready`` cycle has passed — loads that
+miss the L1 write their RS entry when the fill returns, so a later pass or
+rally can consume the value even though no speculative-register-file write
+occurred (the Section 3.5 WAW rule).
+
+Memory instructions record their effective address, standing in for their
+SMAQ entry: rally-mode reprocessing uses it to re-perform the access
+without re-reading address operands.  Data-speculative loads additionally
+carry the value observed during advance execution (S-bit set) for
+value-based verification (Section 3.6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class RSEntry:
+    """One preserved result."""
+
+    __slots__ = ("seq", "ready", "sbit", "value", "addr", "is_store",
+                 "resolved_branch")
+
+    def __init__(self, seq: int, ready: int, sbit: bool = False,
+                 value: object = None, addr: Optional[int] = None,
+                 is_store: bool = False, resolved_branch: bool = False):
+        self.seq = seq
+        self.ready = ready
+        self.sbit = sbit
+        self.value = value
+        self.addr = addr
+        self.is_store = is_store
+        self.resolved_branch = resolved_branch
+
+    def done(self, now: int) -> bool:
+        """E-bit view: the preserved result is available at ``now``."""
+        return self.ready <= now
+
+
+class ResultStore:
+    """Sequence-indexed store of preserved advance results."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._entries: Dict[int, RSEntry] = {}
+        self.writes = 0
+        self.reads = 0
+        self.merges = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, seq: int) -> bool:
+        return seq in self._entries
+
+    def put(self, entry: RSEntry) -> None:
+        """Record a preserved result (overwrites a previous pass's entry)."""
+        self.writes += 1
+        self._entries[entry.seq] = entry
+
+    def get(self, seq: int) -> Optional[RSEntry]:
+        entry = self._entries.get(seq)
+        if entry is not None:
+            self.reads += 1
+        return entry
+
+    def peek(self, seq: int) -> Optional[RSEntry]:
+        """Like :meth:`get` without counting a read (for bookkeeping)."""
+        return self._entries.get(seq)
+
+    def pop(self, seq: int) -> Optional[RSEntry]:
+        """Consume an entry as its instruction commits in rally mode."""
+        entry = self._entries.pop(seq, None)
+        if entry is not None:
+            self.merges += 1
+        return entry
+
+    def discard(self, seq: int) -> None:
+        self._entries.pop(seq, None)
+
+    def clear_from(self, seq: int) -> int:
+        """Invalidate all entries at or beyond ``seq`` (flush); count them."""
+        stale = [s for s in self._entries if s >= seq]
+        for s in stale:
+            del self._entries[s]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def max_seq(self) -> int:
+        """Highest preserved sequence number, or -1 when empty."""
+        return max(self._entries, default=-1)

@@ -1,0 +1,9 @@
+"""Out-of-order baselines: ideal (Fig. 6) and realistic (Section 5.2)."""
+
+from .core import (IdealOOOCore, OutOfOrderCore, RealisticOOOCore,
+                   simulate_ooo, simulate_realistic_ooo)
+
+__all__ = [
+    "IdealOOOCore", "OutOfOrderCore", "RealisticOOOCore", "simulate_ooo",
+    "simulate_realistic_ooo",
+]

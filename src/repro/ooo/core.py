@@ -1,0 +1,336 @@
+"""Out-of-order execution models.
+
+Two variants, both trace driven:
+
+* **Ideal OOO** (Figure 6's ``OOO``): an idealized dynamically scheduled
+  machine per Section 5.1 — scheduling and register-file read both happen
+  in the REG stage (no speculative wakeup), the register renamer is ideal
+  (predication included), the 128-entry scheduling window deallocates at
+  issue, and instructions retire through a 256-entry reorder buffer.  The
+  only extra costs modelled are the three additional scheduling/renaming
+  stages, charged on every branch-misprediction refill.
+* **Realistic OOO** (Section 5.2's comparison point): identical, except
+  dynamic scheduling uses three decentralized 16-entry issue queues
+  (memory, integer, floating point).  A full queue blocks dispatch in
+  order, which throttles how far ahead the machine can look during a long
+  miss — the reason multipass outperforms it.
+
+Stall attribution follows the paper: a cycle with no instruction execution
+is charged to the stall cause of the oldest in-flight instruction, or to
+the front end when the instruction queue is empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from ..isa.opcodes import FUClass
+from ..isa.trace import Trace, TraceEntry
+from ..machine import MachineConfig
+from ..pipeline.base import BaseCore, SimulationDiverged
+from ..pipeline.stats import SimStats, StallCategory
+
+
+class _RobEntry:
+    """One in-flight instruction."""
+
+    __slots__ = ("entry", "seq", "producers", "issued", "ready",
+                 "is_load_wait", "blocked_on")
+
+    def __init__(self, entry: TraceEntry, producers):
+        self.entry = entry
+        self.seq = entry.seq
+        self.producers = producers   # seqs of in-flight producers
+        self.issued = False
+        self.ready = -1              # result-available cycle once issued
+        self.is_load_wait = False
+        self.blocked_on = None       # cached not-yet-ready producer seq
+
+
+class OutOfOrderCore(BaseCore):
+    """Dataflow-scheduled core with a ROB and (de)centralized windows."""
+
+    model_name = "ooo"
+
+    #: Which decentralized queue an FU class occupies (realistic model).
+    _QUEUE_OF = {
+        FUClass.MEM: "mem",
+        FUClass.ALU: "int",
+        FUClass.BR: "int",
+        FUClass.NONE: "int",
+        FUClass.FP: "fp",
+        FUClass.MULDIV: "fp",
+    }
+
+    def __init__(self, trace: Trace, config: Optional[MachineConfig] = None,
+                 decentralized_queues: Optional[int] = None,
+                 ideal: bool = True):
+        config = config or MachineConfig()
+        # The deeper OOO pipe pays its extra stages on every refill.
+        config = replace(
+            config,
+            mispredict_penalty=(config.mispredict_penalty
+                                + config.ooo_extra_stages),
+        )
+        super().__init__(trace, config, config.ooo_rob)
+        self.decentralized_queues = decentralized_queues
+        #: The Section 5.1 idealizations: the ideal model performs
+        #: scheduling and register-file read in the REG stage (no
+        #: speculative-wakeup bubble) and renames predicates ideally.
+        #: The realistic model pays one wakeup-loop cycle between
+        #: dependent instructions and treats a qualifying predicate as a
+        #: data dependence on both the predicate and the destination's
+        #: prior value (conventional handling of predicated code [24]).
+        self.ideal = ideal
+        self.wakeup_delay = 0 if ideal else 1
+        if decentralized_queues:
+            self.model_name = "ooo-realistic"
+            self.stats.model = self.model_name
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 500_000_000) -> SimStats:
+        trace = self.trace
+        entries = trace.entries
+        n = len(entries)
+        config = self.config
+        frontend = self.frontend
+        window = config.ooo_window
+        rob_capacity = config.ooo_rob
+        width = config.ports.width
+
+        rob: List[_RobEntry] = []         # in seq order
+        waiting: List[_RobEntry] = []     # un-issued entries, in seq order
+        value_ready: Dict[int, int] = {}  # seq -> result-available cycle
+        last_writer: Dict[int, int] = {}  # reg -> producing seq
+        writer_is_load: Dict[int, bool] = {}
+        dispatch_ptr = 0
+        commit_ptr = 0                    # next seq to commit
+        now = 0
+        queue_cap = self.decentralized_queues
+        queue_fill = {"mem": 0, "int": 0, "fp": 0}
+
+        def producer_ready(seq: int) -> bool:
+            ready = value_ready.get(seq)
+            return ready is not None and ready <= now
+
+        while commit_ptr < n:
+            if now > max_cycles:
+                raise SimulationDiverged(
+                    f"{self.model_name} exceeded {max_cycles} cycles on "
+                    f"{trace.program.name}")
+            frontend.tick(now, commit_ptr)
+
+            # ---- dispatch (rename) ------------------------------------
+            dispatched = 0
+            while (dispatched < width
+                   and dispatch_ptr < frontend.fetched_until
+                   and len(rob) < rob_capacity):
+                entry = entries[dispatch_ptr]
+                fu = self.issue_fu(entry)
+                if queue_cap is not None:
+                    queue = self._QUEUE_OF[fu]
+                    if queue_fill[queue] >= queue_cap:
+                        break             # in-order dispatch blocks
+                    queue_fill[queue] += 1
+                producers = {}
+                for src in entry.srcs:
+                    pseq = last_writer.get(src)
+                    if pseq is not None and not producer_ready(pseq):
+                        producers[pseq] = writer_is_load.get(src, False)
+                static_dests = entry.inst.dests
+                if not self.ideal and entry.inst.is_predicated:
+                    # Without predicate renaming, a predicated write must
+                    # merge with the destination's previous value.
+                    for dest in static_dests:
+                        pseq = last_writer.get(dest)
+                        if pseq is not None and not producer_ready(pseq):
+                            producers[pseq] = writer_is_load.get(dest,
+                                                                 False)
+                    dest_iter = static_dests
+                else:
+                    dest_iter = entry.dests
+                for dest in dest_iter:
+                    last_writer[dest] = entry.seq
+                    writer_is_load[dest] = entry.is_load
+                rob_entry = _RobEntry(entry, producers)
+                rob.append(rob_entry)
+                waiting.append(rob_entry)
+                dispatch_ptr += 1
+                dispatched += 1
+
+            # ---- issue (dataflow select) ------------------------------
+            tracker = config.ports.new_tracker()
+            issued = 0
+            squash_after = None
+            still_waiting = []
+            for scanned, rob_entry in enumerate(waiting):
+                if issued >= width or scanned >= window \
+                        or squash_after is not None:
+                    still_waiting.extend(waiting[scanned:])
+                    break
+                entry = rob_entry.entry
+                # Fast path: re-check the cached blocking producer first.
+                blocked = rob_entry.blocked_on
+                if blocked is not None:
+                    ready = value_ready.get(blocked)
+                    if ready is None or ready > now:
+                        still_waiting.append(rob_entry)
+                        continue
+                    rob_entry.blocked_on = None
+                for pseq in rob_entry.producers:
+                    ready = value_ready.get(pseq)
+                    if ready is None or ready > now:
+                        rob_entry.blocked_on = pseq
+                        break
+                if rob_entry.blocked_on is not None:
+                    still_waiting.append(rob_entry)
+                    continue
+                fu = self.issue_fu(entry)
+                if not tracker.can_issue(fu):
+                    still_waiting.append(rob_entry)
+                    continue
+                tracker.issue(fu)
+                latency = entry.inst.spec.latency
+                rob_entry.is_load_wait = False
+                if entry.executed and entry.inst.is_mem:
+                    if entry.is_load:
+                        result = self.hierarchy.access(entry.addr, now)
+                        latency = result.latency
+                        rob_entry.is_load_wait = result.l1_miss
+                        self.stats.counters["loads_issued"] += 1
+                        if result.l1_miss:
+                            self.stats.counters["l1d_load_misses"] += 1
+                    else:
+                        self.hierarchy.access(entry.addr, now, kind="store")
+                rob_entry.issued = True
+                rob_entry.ready = now + latency
+                value_ready[entry.seq] = rob_entry.ready + self.wakeup_delay
+                if queue_cap is not None:
+                    queue_fill[self._QUEUE_OF[fu]] -= 1
+                issued += 1
+                if entry.is_branch:
+                    if frontend.resolve_branch(entry, now):
+                        self.stats.counters["mispredicts"] += 1
+                        squash_after = entry.seq
+            waiting = still_waiting
+
+            if squash_after is not None:
+                # Squash wrong-path work younger than the branch.
+                kept = []
+                for rob_entry in rob:
+                    if rob_entry.seq <= squash_after:
+                        kept.append(rob_entry)
+                        continue
+                    if queue_cap is not None and not rob_entry.issued:
+                        fu = self.issue_fu(rob_entry.entry)
+                        queue_fill[self._QUEUE_OF[fu]] -= 1
+                    value_ready.pop(rob_entry.seq, None)
+                rob = kept
+                waiting = [e for e in waiting if e.seq <= squash_after]
+                dispatch_ptr = squash_after + 1
+                last_writer = {r: s for r, s in last_writer.items()
+                               if s <= squash_after}
+
+            # ---- commit ------------------------------------------------
+            committed = 0
+            while rob and committed < width:
+                head = rob[0]
+                if not head.issued or head.ready > now:
+                    break
+                del rob[0]
+                commit_ptr = head.seq + 1
+                self.stats.instructions += 1
+                committed += 1
+
+            # ---- attribution -------------------------------------------
+            if issued:
+                self.stats.charge(StallCategory.EXECUTION)
+            elif not rob:
+                self.stats.charge(StallCategory.FRONT_END)
+            else:
+                self.stats.charge(self._oldest_stall_cause(rob, now,
+                                                           value_ready))
+            now += 1
+
+            # ---- idle fast-forward --------------------------------------
+            if not issued and not committed and not dispatched and rob:
+                wake = self._next_event(rob, frontend, dispatch_ptr, n, now)
+                if wake > now:
+                    self.stats.charge(
+                        self._oldest_stall_cause(rob, now, value_ready),
+                        wake - now)
+                    now = wake
+
+        return self.finalize()
+
+    # ------------------------------------------------------------------
+
+    def _oldest_stall_cause(self, rob: List[_RobEntry], now: int,
+                            value_ready: Dict[int, int]) -> StallCategory:
+        """Attribute a zero-issue cycle to the oldest instruction's cause."""
+        head = rob[0]
+        if head.issued:
+            return (StallCategory.LOAD if head.is_load_wait
+                    else StallCategory.OTHER)
+        for pseq, is_load in head.producers.items():
+            ready = value_ready.get(pseq)
+            if ready is None or ready > now:
+                return (StallCategory.LOAD if is_load
+                        else StallCategory.OTHER)
+        return StallCategory.OTHER   # port conflict or window limit
+
+    def _next_event(self, rob: List[_RobEntry], frontend, dispatch_ptr: int,
+                    n: int, now: int) -> int:
+        """Earliest cycle at which any state can change (for idle skips)."""
+        candidates = []
+        for rob_entry in rob:
+            if rob_entry.issued and rob_entry.ready > now:
+                candidates.append(rob_entry.ready)
+        if dispatch_ptr < n:
+            if frontend.fetched_until > dispatch_ptr:
+                return now               # dispatch could proceed next cycle
+            if frontend.stall_until > now:
+                candidates.append(frontend.stall_until)
+            else:
+                return now               # front end actively fetching
+        if not candidates:
+            return now
+        return min(candidates)
+
+
+class IdealOOOCore(OutOfOrderCore):
+    """Alias with the Figure 6 model name."""
+
+    model_name = "ooo"
+
+    def __init__(self, trace: Trace,
+                 config: Optional[MachineConfig] = None):
+        super().__init__(trace, config, decentralized_queues=None)
+
+
+class RealisticOOOCore(OutOfOrderCore):
+    """Decentralized 16-entry issue queues (Section 5.2)."""
+
+    model_name = "ooo-realistic"
+
+    def __init__(self, trace: Trace,
+                 config: Optional[MachineConfig] = None,
+                 queue_entries: int = 16):
+        super().__init__(trace, config,
+                         decentralized_queues=queue_entries, ideal=False)
+
+
+def simulate_ooo(trace: Trace, config: Optional[MachineConfig] = None
+                 ) -> SimStats:
+    """Run the idealized out-of-order model over ``trace``."""
+    return IdealOOOCore(trace, config).run()
+
+
+def simulate_realistic_ooo(trace: Trace,
+                           config: Optional[MachineConfig] = None,
+                           queue_entries: int = 16) -> SimStats:
+    """Run the realistic decentralized-queue OOO model over ``trace``."""
+    return RealisticOOOCore(trace, config,
+                            queue_entries=queue_entries).run()

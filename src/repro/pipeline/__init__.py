@@ -1,0 +1,11 @@
+"""Pipeline infrastructure and the baseline in-order core."""
+
+from .base import BaseCore, SimulationDiverged
+from .frontend import FrontEnd
+from .inorder import InOrderCore, simulate_inorder
+from .stats import SimStats, StallCategory
+
+__all__ = [
+    "BaseCore", "FrontEnd", "InOrderCore", "SimStats", "SimulationDiverged",
+    "StallCategory", "simulate_inorder",
+]

@@ -1,0 +1,99 @@
+"""Shared machinery for all timing cores.
+
+Every core replays a golden :class:`~repro.isa.trace.Trace` against its own
+memory hierarchy, branch predictor and front end, and produces a
+:class:`~repro.pipeline.stats.SimStats` with the Figure 6 cycle taxonomy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..branch.gshare import GsharePredictor
+from ..isa.opcodes import FUClass
+from ..isa.trace import Trace, TraceEntry
+from ..machine import MachineConfig
+from .frontend import FrontEnd
+from .stats import SimStats, StallCategory
+
+
+class SimulationDiverged(Exception):
+    """A core exceeded its cycle budget — indicates a modelling bug."""
+
+
+class BaseCore:
+    """Common state: scoreboard, front end, memory, stall attribution."""
+
+    model_name = "base"
+
+    def __init__(self, trace: Trace, config: MachineConfig,
+                 buffer_size: int):
+        self.trace = trace
+        self.config = config
+        self.buffer_size = buffer_size
+        self.hierarchy = config.hierarchy.build()
+        self.predictor = GsharePredictor(config.branch_predictor_entries)
+        self.frontend = FrontEnd(trace, self.hierarchy, self.predictor,
+                                 config, buffer_size)
+        self.stats = SimStats(model=self.model_name,
+                              workload=trace.program.name)
+        # Architectural scoreboard: absolute ready cycle per register.
+        self.reg_ready: Dict[int, int] = {}
+        # Registers whose in-flight producer is a load that missed the L1
+        # (consumers stalled on these are charged to the *load* category,
+        # and the multipass core suppresses rather than waits for them).
+        self.load_miss_pending: Dict[int, int] = {}
+
+    # -- operand checking ----------------------------------------------------
+
+    def unready_sources(self, entry: TraceEntry, now: int):
+        """Source registers of ``entry`` that are not ready at ``now``."""
+        ready = self.reg_ready
+        return [s for s in entry.srcs if ready.get(s, 0) > now]
+
+    def classify_wait(self, unready, now: int
+                      ) -> Tuple[StallCategory, int]:
+        """Stall category + cycle when all ``unready`` regs become ready."""
+        wait_until = max(self.reg_ready.get(s, 0) for s in unready)
+        pending = self.load_miss_pending
+        is_load_wait = any(
+            s in pending and pending[s] > now for s in unready
+        )
+        category = StallCategory.LOAD if is_load_wait else StallCategory.OTHER
+        return category, wait_until
+
+    # -- execution helpers -----------------------------------------------------
+
+    def issue_fu(self, entry: TraceEntry) -> FUClass:
+        """Functional-unit class the entry occupies (nullified -> none)."""
+        return entry.inst.spec.fu if entry.executed else FUClass.NONE
+
+    def execute_memory(self, entry: TraceEntry, now: int) -> int:
+        """Perform the cache access of a load/store; returns load latency."""
+        kind = "store" if entry.is_store else "load"
+        result = self.hierarchy.access(entry.addr, now, kind=kind)
+        if entry.is_load:
+            self.stats.counters["loads_issued"] += 1
+            if result.l1_miss:
+                self.stats.counters["l1d_load_misses"] += 1
+            return result.latency
+        return 0
+
+    def writeback(self, entry: TraceEntry, now: int, latency: int,
+                  l1_miss: bool) -> None:
+        """Update the scoreboard for the entry's destinations."""
+        ready = now + latency
+        for dest in entry.dests:
+            self.reg_ready[dest] = ready
+            if l1_miss:
+                self.load_miss_pending[dest] = ready
+            else:
+                self.load_miss_pending.pop(dest, None)
+
+    # -- wrap-up -------------------------------------------------------------
+
+    def finalize(self) -> SimStats:
+        self.stats.memory = self.hierarchy.stats()
+        self.stats.branch_accuracy = self.predictor.accuracy
+        self.stats.counters["front_end_redirects"] = self.frontend.redirects
+        return self.stats

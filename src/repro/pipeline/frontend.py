@@ -1,0 +1,114 @@
+"""Front-end model shared by all cores: fetch, I-cache and redirects.
+
+Trace-driven: fetch walks the (architecturally correct) trace in order,
+probing the L1I per instruction-cache line.  A mispredicted branch,
+discovered when the consuming core resolves it, rolls fetch back to just
+past the branch and stalls it for the pipeline-refill penalty — the
+standard trace-driven misprediction model.
+"""
+
+from __future__ import annotations
+
+from ..branch.gshare import GsharePredictor
+from ..isa.trace import Trace, TraceEntry
+from ..machine import MachineConfig
+from ..memory.hierarchy import MemoryHierarchy
+
+
+class FrontEnd:
+    """Fetches trace entries into the core's instruction buffer."""
+
+    def __init__(self, trace: Trace, hierarchy: MemoryHierarchy,
+                 predictor: GsharePredictor, config: MachineConfig,
+                 buffer_size: int):
+        self.trace = trace
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self.config = config
+        self.buffer_size = buffer_size
+        self.fetched_until = 0        # exclusive trace index available
+        self.stall_until = 0          # fetch blocked before this cycle
+        self._line_size = hierarchy.config.l1i.line_size
+        self._last_line = -1
+        self.icache_stall_cycles = 0
+        self.redirects = 0
+        if config.prewarm_icache:
+            self._prewarm()
+
+    def _prewarm(self) -> None:
+        """Install the static code footprint in the instruction caches.
+
+        Kernels stand in for long SPEC runs in which the loop code is
+        resident; without pre-warming, compulsory I-misses at main-memory
+        latency would dominate the short simulated windows.
+        """
+        lines = {
+            inst.index * self.config.instruction_bytes // self._line_size
+            for inst in self.trace.program
+        }
+        for line in lines:
+            addr = line * self._line_size
+            self.hierarchy.l1i.fill(addr)
+            self.hierarchy.l2.fill(addr)
+            if self.hierarchy.l3 is not None:
+                self.hierarchy.l3.fill(addr)
+
+    def buffer_occupancy(self, consume_ptr: int) -> int:
+        return self.fetched_until - consume_ptr
+
+    def tick(self, now: int, consume_ptr: int) -> None:
+        """Fetch up to ``fetch_width`` entries this cycle.
+
+        Args:
+            now: current cycle.
+            consume_ptr: the oldest un-issued trace index — fetch never
+                runs more than ``buffer_size`` entries ahead of it.
+        """
+        if now < self.stall_until:
+            return
+        n_trace = len(self.trace)
+        limit = min(n_trace, consume_ptr + self.buffer_size)
+        fetched = 0
+        while fetched < self.config.fetch_width and self.fetched_until < limit:
+            entry = self.trace[self.fetched_until]
+            addr = entry.inst.index * self.config.instruction_bytes
+            line = addr // self._line_size
+            if line != self._last_line:
+                result = self.hierarchy.access(addr, now, kind="ifetch")
+                self._last_line = line
+                if result.latency > self.hierarchy.config.l1i.latency:
+                    self.stall_until = result.ready
+                    self.icache_stall_cycles += result.latency
+                    return
+            self.fetched_until += 1
+            fetched += 1
+
+    def resolve_branch(self, entry: TraceEntry, now: int,
+                       already_resolved: bool = False) -> bool:
+        """Resolve a branch at execute; returns True on a mispredict.
+
+        Args:
+            entry: the branch trace entry.
+            now: current cycle (redirect penalty charged from here).
+            already_resolved: the branch was validly pre-executed earlier
+                (multipass advance mode) so the front end has already been
+                redirected — no flush and no predictor update now.
+
+        A predicate-nullified branch still trains the predictor (fetch
+        predicts before the qualifying predicate is known): its outcome is
+        not-taken.
+        """
+        if already_resolved:
+            return False
+        correct = self.predictor.update(entry.inst.index, entry.taken)
+        if not correct:
+            self.redirect(entry.seq + 1, now)
+        return not correct
+
+    def redirect(self, resume_index: int, now: int) -> None:
+        """Squash fetched-but-wrong-path entries and refill the pipe."""
+        self.redirects += 1
+        self.fetched_until = min(self.fetched_until, resume_index)
+        self.stall_until = max(self.stall_until,
+                               now + self.config.mispredict_penalty)
+        self._last_line = -1

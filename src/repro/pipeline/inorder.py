@@ -1,0 +1,132 @@
+"""Baseline in-order EPIC core (the paper's ``inorder``/``base`` machine).
+
+Strict in-order issue of compiler-formed issue groups: up to one group per
+cycle, stall-on-use when an operand is not ready, scoreboarded WAW stalls
+for variable-latency writers (Section 3.5), non-blocking stores, and a
+gshare-driven front end.  Long stalls are fast-forwarded when neither the
+front end nor the memory system has intervening work, which does not change
+cycle counts — only wall-clock simulation time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..isa.trace import Trace
+from ..machine import MachineConfig
+from .base import BaseCore, SimulationDiverged
+from .stats import SimStats, StallCategory
+
+
+class InOrderCore(BaseCore):
+    """Stall-on-use in-order pipeline."""
+
+    model_name = "inorder"
+
+    def __init__(self, trace: Trace, config: Optional[MachineConfig] = None):
+        config = config or MachineConfig()
+        super().__init__(trace, config, config.inorder_buffer_size)
+
+    def run(self, max_cycles: int = 500_000_000) -> SimStats:
+        trace = self.trace
+        entries = trace.entries
+        n = len(entries)
+        frontend = self.frontend
+        tracker = self.config.ports.new_tracker()
+        reg_ready = self.reg_ready
+        now = 0
+        ptr = 0
+
+        while ptr < n:
+            if now > max_cycles:
+                raise SimulationDiverged(
+                    f"inorder exceeded {max_cycles} cycles on "
+                    f"{trace.program.name}"
+                )
+            frontend.tick(now, ptr)
+            tracker.reset()
+            issued = 0
+            reason = None
+            wait_until = now + 1
+
+            while ptr < frontend.fetched_until:
+                entry = entries[ptr]
+                inst = entry.inst
+                fu = self.issue_fu(entry)
+                if not tracker.can_issue(fu):
+                    reason = StallCategory.OTHER
+                    break
+
+                unready = self.unready_sources(entry, now)
+                if unready:
+                    reason, wait_until = self.classify_wait(unready, now)
+                    break
+
+                latency = inst.spec.latency
+                l1_miss = False
+                if entry.executed and entry.inst.is_mem:
+                    if entry.is_load:
+                        result = self.hierarchy.access(entry.addr, now)
+                        latency = result.latency
+                        l1_miss = result.l1_miss
+                        self.stats.counters["loads_issued"] += 1
+                        if l1_miss:
+                            self.stats.counters["l1d_load_misses"] += 1
+                    else:
+                        self.hierarchy.access(entry.addr, now, kind="store")
+
+                # Scoreboarded WAW: a shorter-latency writer may not
+                # complete before an in-flight longer-latency one.
+                waw_conflict = [
+                    d for d in entry.dests
+                    if reg_ready.get(d, 0) > now + latency
+                ]
+                if waw_conflict:
+                    reason, wait_until = self.classify_wait(waw_conflict,
+                                                            now)
+                    self.stats.counters["waw_stalls"] += 1
+                    break
+
+                tracker.issue(fu)
+                self.writeback(entry, now, latency, l1_miss)
+                self.stats.instructions += 1
+                issued += 1
+                ptr += 1
+                if entry.is_branch:
+                    if frontend.resolve_branch(entry, now):
+                        self.stats.counters["mispredicts"] += 1
+                        break
+                if inst.stop:
+                    break  # issue-group boundary ends the cycle
+
+            if issued:
+                self.stats.charge(StallCategory.EXECUTION)
+            elif ptr >= frontend.fetched_until:
+                self.stats.charge(StallCategory.FRONT_END)
+            else:
+                self.stats.charge(reason or StallCategory.OTHER)
+            now += 1
+
+            # Fast-forward a long operand stall when nothing else can
+            # happen: the attribution for the skipped cycles is identical.
+            if not issued and reason in (StallCategory.LOAD,
+                                         StallCategory.OTHER) \
+                    and wait_until > now:
+                skip_to = wait_until
+                limit = min(n, ptr + self.buffer_size)
+                if frontend.fetched_until < limit:
+                    if frontend.stall_until > now:
+                        skip_to = min(wait_until, frontend.stall_until)
+                    else:
+                        skip_to = now  # front end still fetching
+                if skip_to > now:
+                    self.stats.charge(reason, skip_to - now)
+                    now = skip_to
+
+        return self.finalize()
+
+
+def simulate_inorder(trace: Trace, config: Optional[MachineConfig] = None
+                     ) -> SimStats:
+    """Run the baseline in-order model over ``trace``."""
+    return InOrderCore(trace, config).run()

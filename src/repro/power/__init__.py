@@ -1,0 +1,20 @@
+"""Wattch-style power models and the Table 1 structure comparison."""
+
+from .accounting import (GROUP_MEMBERS, PowerBreakdown, average_ratios,
+                         multipass_power, ooo_power)
+from .energy import (DEFAULT_EVENT_ENERGY, ExecutionEnergy,
+                     energy_comparison, execution_energy)
+from .structures import (PAPER_AVERAGE_RATIOS, PAPER_PEAK_RATIOS,
+                         StructureGroup, memory_group, register_group,
+                         scheduling_group, table1_groups)
+from .wattch import (ArrayStructure, CacheStructure, CamStructure,
+                     MatrixStructure, TechParams)
+
+__all__ = [
+    "ArrayStructure", "CacheStructure", "CamStructure", "GROUP_MEMBERS",
+    "MatrixStructure", "PAPER_AVERAGE_RATIOS", "PAPER_PEAK_RATIOS",
+    "PowerBreakdown", "StructureGroup", "TechParams", "average_ratios",
+    "memory_group", "multipass_power", "ooo_power", "register_group",
+    "scheduling_group", "table1_groups", "DEFAULT_EVENT_ENERGY",
+    "ExecutionEnergy", "energy_comparison", "execution_energy",
+]

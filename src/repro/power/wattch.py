@@ -1,0 +1,258 @@
+"""Wattch-style microarchitectural energy models (paper Section 4).
+
+Re-implementation of the component models the paper adapted from Wattch
+[Brooks et al., ISCA 2000]: indexed array structures (decoders, wordlines,
+bitlines, senseamps), content-addressable memories (taglines and matchlines
+swept across every entry), and set-associative cache structures.  The
+technology point mirrors the paper's: a 100 nm process at Vdd = 1.2 V and
+2 GHz.
+
+Two properties of the real models are preserved because Table 1's ratios
+rest on them:
+
+* power scales ~linearly with port count, plus a quadratic cell-growth
+  term (extra wordlines/bitlines enlarge each cell in both dimensions);
+* CAMs read out and match their entire contents on every access, costing
+  far more than an indexed read of one row.
+
+Absolute numbers are order-of-magnitude estimates only — exactly like
+Wattch, the model's value is in *relative* comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechParams:
+    """Technology point (defaults: the paper's 100 nm / 1.2 V / 2 GHz)."""
+
+    vdd: float = 1.2                 # volts
+    frequency: float = 2.0e9         # hertz
+    # Effective switched capacitances, loosely scaled from Wattch's
+    # CACTI-derived 0.8um constants to 100nm (all in farads).
+    c_wordline_per_cell: float = 1.8e-15
+    c_bitline_per_cell: float = 2.2e-15
+    c_cell_static: float = 0.8e-15   # sense/precharge per column
+    c_decoder_per_addrbit: float = 4.0e-15
+    c_tagline_per_cell: float = 2.0e-15
+    c_matchline_per_bit: float = 1.6e-15
+    c_comparator_per_bit: float = 3.0e-15
+    #: Full-swing match/readout penalty of CAM cells relative to sensed
+    #: array bitlines (CAM cells are ~2x larger and their matchlines and
+    #: taglines swing rail to rail on every search).
+    cam_swing_factor: float = 5.0
+    #: Fraction of a structure's cell dimensions added per extra port.
+    port_growth: float = 0.10
+    #: Idle fraction of Wattch's linear clock-gating model ("cc3" style):
+    #: a gated structure still burns this share of peak.
+    clock_gate_floor: float = 0.10
+
+    def energy(self, capacitance: float) -> float:
+        """Dynamic energy (J) of switching ``capacitance`` at Vdd."""
+        return 0.5 * capacitance * self.vdd * self.vdd
+
+    def power(self, energy_per_cycle: float) -> float:
+        """Average power (W) given energy consumed per cycle."""
+        return energy_per_cycle * self.frequency
+
+
+def _port_scale(tech: TechParams, ports: int) -> float:
+    """Cell-area growth factor for a multi-ported structure.
+
+    Each additional port adds a wordline and a bitline pair, growing the
+    cell in both dimensions; wire capacitance grows with wire length, so
+    per-access energy grows roughly quadratically in port count.
+    """
+    growth = 1.0 + tech.port_growth * max(0, ports - 1)
+    return growth * growth
+
+
+class ArrayStructure:
+    """An indexed RAM array: register files, RATs, queues, result stores.
+
+    ``wide_read_ports``/``wide_write_ports`` touch ``wide_factor`` entries
+    per access (e.g. the multipass result store's issue-width-wide read);
+    bitlines are shared across the banked sub-arrays, per Section 4.2.
+    """
+
+    def __init__(self, name: str, entries: int, bits: int,
+                 read_ports: int = 1, write_ports: int = 1,
+                 wide_read_ports: int = 0, wide_write_ports: int = 0,
+                 wide_factor: int = 6, banks: int = 1,
+                 tech: TechParams = TechParams()):
+        if entries < 1 or bits < 1:
+            raise ValueError(f"{name}: entries and bits must be positive")
+        self.name = name
+        self.entries = entries
+        self.bits = bits
+        self.read_ports = read_ports
+        self.write_ports = write_ports
+        self.wide_read_ports = wide_read_ports
+        self.wide_write_ports = wide_write_ports
+        self.wide_factor = wide_factor
+        self.banks = banks
+        self.tech = tech
+
+    @property
+    def total_ports(self) -> int:
+        return (self.read_ports + self.write_ports
+                + self.wide_read_ports + self.wide_write_ports)
+
+    def _row_energy(self, rows_touched: int) -> float:
+        """Energy of one port's access touching ``rows_touched`` rows."""
+        tech = self.tech
+        scale = _port_scale(tech, self.total_ports)
+        rows_per_bank = max(1, self.entries // self.banks)
+        addr_bits = max(1, math.ceil(math.log2(max(2, rows_per_bank))))
+        wordline = tech.c_wordline_per_cell * self.bits * rows_touched
+        bitline = (tech.c_bitline_per_cell * rows_per_bank
+                   * self.bits * min(1, rows_touched))
+        decoder = tech.c_decoder_per_addrbit * addr_bits
+        sense = tech.c_cell_static * self.bits
+        return tech.energy(scale * (wordline + bitline + decoder + sense))
+
+    def energy_per_access(self, wide: bool = False) -> float:
+        """Dynamic energy (J) of one read or write access."""
+        return self._row_energy(self.wide_factor if wide else 1)
+
+    def peak_energy_per_cycle(self) -> float:
+        """All ports firing in one cycle (maximum switching activity)."""
+        narrow = (self.read_ports + self.write_ports) \
+            * self.energy_per_access(wide=False)
+        wide = (self.wide_read_ports + self.wide_write_ports) \
+            * self.energy_per_access(wide=True)
+        return narrow + wide
+
+    def peak_power(self) -> float:
+        return self.tech.power(self.peak_energy_per_cycle())
+
+
+class CamStructure:
+    """A content-addressable memory: wakeup logic, load/store queues.
+
+    Every search drives the tag across *all* entries and evaluates every
+    matchline, which is what makes CAM-based structures so much more
+    expensive than arrays of similar capacity.
+    """
+
+    def __init__(self, name: str, entries: int, tag_bits: int,
+                 data_bits: int = 0, search_ports: int = 1,
+                 write_ports: int = 1, tech: TechParams = TechParams()):
+        if entries < 1 or tag_bits < 1:
+            raise ValueError(f"{name}: entries and tag bits must be positive")
+        self.name = name
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self.data_bits = data_bits
+        self.search_ports = search_ports
+        self.write_ports = write_ports
+        self.tech = tech
+
+    @property
+    def total_ports(self) -> int:
+        return self.search_ports + self.write_ports
+
+    def search_energy(self) -> float:
+        """One associative search across the full array.
+
+        Every entry's tagline and matchline switch, and the matching
+        entry's full contents are read out; the whole path swings
+        rail-to-rail (``cam_swing_factor``) rather than being sensed.
+        """
+        tech = self.tech
+        scale = _port_scale(tech, self.total_ports)
+        taglines = tech.c_tagline_per_cell * self.entries * self.tag_bits
+        matchlines = tech.c_matchline_per_bit * self.entries * self.tag_bits
+        readout = tech.c_bitline_per_cell * self.entries * \
+            (self.tag_bits + self.data_bits)
+        return tech.energy(scale * tech.cam_swing_factor
+                           * (taglines + matchlines + readout))
+
+    def write_energy(self) -> float:
+        tech = self.tech
+        scale = _port_scale(tech, self.total_ports)
+        bits = self.tag_bits + self.data_bits
+        return tech.energy(scale * tech.c_wordline_per_cell * bits
+                           + scale * tech.c_bitline_per_cell
+                           * self.entries * bits * 0.1)
+
+    def peak_energy_per_cycle(self) -> float:
+        return (self.search_ports * self.search_energy()
+                + self.write_ports * self.write_energy())
+
+    def peak_power(self) -> float:
+        return self.tech.power(self.peak_energy_per_cycle())
+
+
+class MatrixStructure:
+    """A wired-OR dependence matrix (Palacharla-style wakeup).
+
+    Each completing resource drives one column across all entries; each
+    entry's readiness is the wired OR of its row.  Writes update one
+    ``bits``-wide row at dispatch.  Far cheaper per event than a CAM —
+    which is precisely why the paper's out-of-order configuration uses it
+    — but the companion issue table still dominates the comparison with
+    the multipass instruction queue.
+    """
+
+    def __init__(self, name: str, entries: int, bits: int,
+                 evaluate_ports: int = 6, update_ports: int = 6,
+                 tech: TechParams = TechParams()):
+        self.name = name
+        self.entries = entries
+        self.bits = bits
+        self.evaluate_ports = evaluate_ports
+        self.update_ports = update_ports
+        self.tech = tech
+
+    def evaluate_energy(self) -> float:
+        """One wakeup event: drive a column and settle the row ORs."""
+        tech = self.tech
+        column = tech.c_tagline_per_cell * self.entries
+        wired_or = tech.c_matchline_per_bit * self.entries
+        return tech.energy(column + wired_or)
+
+    def update_energy(self) -> float:
+        """Dispatch writes one entry's resource row."""
+        return self.tech.energy(self.tech.c_wordline_per_cell * self.bits)
+
+    def peak_energy_per_cycle(self) -> float:
+        return (self.evaluate_ports * self.evaluate_energy()
+                + self.update_ports * self.update_energy())
+
+    def peak_power(self) -> float:
+        return self.tech.power(self.peak_energy_per_cycle())
+
+
+class CacheStructure:
+    """A low-associativity SRAM cache (the multipass ASC).
+
+    Modelled as an indexed array plus per-way tag comparators — the very
+    property that makes it cheaper than a fully associative store queue.
+    """
+
+    def __init__(self, name: str, entries: int, assoc: int, data_bits: int,
+                 tag_bits: int = 26, read_ports: int = 1,
+                 write_ports: int = 1, tech: TechParams = TechParams()):
+        self.name = name
+        self.assoc = assoc
+        self.tech = tech
+        self.tag_bits = tag_bits
+        self._array = ArrayStructure(
+            name + ".data", entries, data_bits + tag_bits,
+            read_ports=read_ports, write_ports=write_ports, tech=tech)
+
+    def energy_per_access(self) -> float:
+        compare = self.tech.energy(
+            self.assoc * self.tag_bits * self.tech.c_comparator_per_bit)
+        return self._array.energy_per_access() * self.assoc / 2 + compare
+
+    def peak_energy_per_cycle(self) -> float:
+        ports = self._array.read_ports + self._array.write_ports
+        return ports * self.energy_per_access()
+
+    def peak_power(self) -> float:
+        return self.tech.power(self.peak_energy_per_cycle())

@@ -1,0 +1,5 @@
+"""Dundas–Mudge runahead baseline."""
+
+from .core import RunaheadCore, simulate_runahead
+
+__all__ = ["RunaheadCore", "simulate_runahead"]

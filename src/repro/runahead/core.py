@@ -1,0 +1,55 @@
+"""Dundas–Mudge runahead preexecution (Figure 1(b) of the paper).
+
+Runahead is the purely-prefetching ancestor of multipass pipelining: when
+the pipeline stalls on an unready load, it pre-executes subsequent
+instructions speculatively — overlapping independent cache misses — but
+
+* results are **not persisted**: when the stall resolves, execution resumes
+  at the consumer and everything pre-executed runs again (re-spending both
+  time and energy), and
+* there is **no advance restart**: an instruction skipped during the single
+  runahead pass is not reconsidered, so a short miss returning mid-pass
+  cannot enable further useful preexecution (the e' limitation in the
+  paper's Figure 1(b)).
+
+Implemented as the multipass core with persistence, restart and regrouping
+disabled — the remaining machinery (advance store cache, suppression,
+wrong-path kill) is shared by construction, mirroring how the paper frames
+multipass as "a set of enhancements to the Dundas-Mudge approach".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..isa.trace import Trace
+from ..machine import MachineConfig
+from ..multipass.core import MultipassCore
+from ..pipeline.stats import SimStats
+
+
+class RunaheadCore(MultipassCore):
+    """Single-pass, non-persistent advance execution."""
+
+    model_name = "runahead"
+
+    def __init__(self, trace: Trace,
+                 config: Optional[MachineConfig] = None):
+        super().__init__(trace, config, enable_regroup=False,
+                         enable_restart=False, persist_results=False)
+
+    def _enter_rally(self, now: int) -> None:
+        """Exiting runahead restores the checkpointed state and refetches
+        from the stalled instruction — a pipeline-refill penalty the
+        multipass design avoids by latching the architectural stream in
+        place (paper Section 3.1.3)."""
+        super()._enter_rally(now)
+        self.arch_stall_until = max(self.arch_stall_until,
+                                    now + self.config.mispredict_penalty)
+        self.stats.counters["runahead_exit_refills"] += 1
+
+
+def simulate_runahead(trace: Trace,
+                      config: Optional[MachineConfig] = None) -> SimStats:
+    """Run the Dundas–Mudge runahead model over ``trace``."""
+    return RunaheadCore(trace, config).run()

@@ -1,0 +1,33 @@
+"""Synthetic SPEC CPU2000-like workload kernels.
+
+Twelve C-language SPEC CPU2000 benchmarks stand behind the paper's
+evaluation; each module here reproduces one benchmark's algorithmic
+skeleton (memory-access pattern, dependence recurrences, branch behaviour
+and functional-unit mix) in the target ISA.  See DESIGN.md for the
+substitution rationale.
+"""
+
+from . import cfp, cint_branchy, cint_compute, cint_memory  # noqa: F401
+from .common import Allocator, WorkloadSpec, registry, scaled
+
+#: CINT2000-derived kernels.
+CINT = ("bzip2", "crafty", "gap", "gzip", "mcf", "parser", "twolf", "vpr")
+#: CFP2000-derived kernels.
+CFP = ("ammp", "art", "equake", "mesa")
+#: Evaluation order used by the figures (integer suite first).
+ALL_WORKLOADS = CINT + CFP
+
+
+def build_workload(name: str, scale: float = 1.0):
+    """Build the named workload program at the given scale."""
+    specs = registry()
+    if name not in specs:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(specs)}")
+    return specs[name](scale)
+
+
+__all__ = [
+    "ALL_WORKLOADS", "Allocator", "CFP", "CINT", "WorkloadSpec",
+    "build_workload", "registry", "scaled",
+]

@@ -1,0 +1,81 @@
+"""Tests for CFG construction and the reaching-definitions def-use graph."""
+
+from repro.compiler import build_cfg, build_dataflow_graph
+from repro.isa import P, ProgramBuilder, R
+
+
+def loop_program():
+    b = ProgramBuilder("loop")
+    b.movi(R(1), 0)                  # 0: acc = 0
+    b.movi(R(2), 1)                  # 1: i = 1
+    b.label("loop")
+    b.add(R(1), R(1), R(2))          # 2: acc += i        (loop-carried)
+    b.addi(R(2), R(2), 1)            # 3: i += 1          (loop-carried)
+    b.cmplei(P(1), R(2), 5)          # 4
+    b.br("loop", pred=P(1))          # 5
+    b.mov(R(3), R(1))                # 6
+    b.halt()                         # 7
+    return b.build()
+
+
+def test_cfg_block_structure():
+    cfg = build_cfg(loop_program())
+    # Blocks: [0,2) preheader, [2,6) loop body, [6,8) exit.
+    assert len(cfg) == 3
+    assert (cfg.blocks[0].start, cfg.blocks[0].end) == (0, 2)
+    assert (cfg.blocks[1].start, cfg.blocks[1].end) == (2, 6)
+    assert (cfg.blocks[2].start, cfg.blocks[2].end) == (6, 8)
+
+
+def test_cfg_edges():
+    cfg = build_cfg(loop_program())
+    assert cfg.blocks[0].succs == [1]
+    assert sorted(cfg.blocks[1].succs) == [1, 2]   # back edge + fallthrough
+    assert cfg.blocks[2].succs == []               # ends in halt
+    assert sorted(cfg.blocks[1].preds) == [0, 1]
+
+
+def test_cfg_jmp_has_single_successor():
+    b = ProgramBuilder("j")
+    b.movi(R(1), 1)
+    b.jmp("end")
+    b.movi(R(2), 2)    # dead
+    b.label("end")
+    b.halt()
+    cfg = build_cfg(b.build())
+    jmp_block = cfg.blocks[cfg.block_of[1]]
+    assert len(jmp_block.succs) == 1
+
+
+def test_dataflow_loop_carried_edges():
+    p = loop_program()
+    g = build_dataflow_graph(p)
+    # acc += i at index 2 feeds itself around the back edge.
+    assert 2 in g.succs[2]
+    # i += 1 at 3 feeds the add at 2 and itself (loop carried).
+    assert 2 in g.succs[3]
+    assert 3 in g.succs[3]
+    # Initial movi of acc reaches the loop add.
+    assert 2 in g.succs[0]
+    # The compare feeds the branch via the predicate register.
+    assert 5 in g.succs[4]
+
+
+def test_dataflow_kill_blocks_stale_defs():
+    b = ProgramBuilder("kill")
+    b.movi(R(1), 1)       # 0: killed by 1 before any use
+    b.movi(R(1), 2)       # 1
+    b.mov(R(2), R(1))     # 2: uses only def at 1
+    b.halt()
+    g = build_dataflow_graph(b.build())
+    assert 2 not in g.succs[0]
+    assert 2 in g.succs[1]
+
+
+def test_reachability_helpers():
+    p = loop_program()
+    g = build_dataflow_graph(p)
+    downstream = g.reachable_from(1)   # movi i=1
+    assert {2, 3, 4, 5, 6} <= downstream
+    upstream = g.reaching_to(6)        # mov r3 = acc
+    assert {0, 2} <= upstream

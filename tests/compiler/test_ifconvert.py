@@ -1,0 +1,126 @@
+"""Tests for the if-conversion pass."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.compiler import CompileOptions, compile_program, if_convert
+from repro.isa import Opcode, P, ProgramBuilder, R, execute
+
+
+def hammock_program(then_len=3, taken=False):
+    """if (r1 == 1) skip else do <then_len> adds."""
+    b = ProgramBuilder("hammock")
+    b.movi(R(1), 1 if taken else 0)
+    b.movi(R(2), 0)
+    b.cmpeqi(P(1), R(1), 1)
+    b.br("skip", pred=P(1))
+    for _ in range(then_len):
+        b.addi(R(2), R(2), 1)
+    b.label("skip")
+    b.mov(R(3), R(2))
+    b.halt()
+    return b.build()
+
+
+class TestConversion:
+    @pytest.mark.parametrize("taken", [False, True])
+    def test_semantics_preserved(self, taken):
+        p = hammock_program(taken=taken)
+        q = if_convert(p)
+        t1, t2 = execute(p), execute(q)
+        assert t1.final_registers[R(2)] == t2.final_registers[R(2)]
+        assert t1.final_registers[R(3)] == t2.final_registers[R(3)]
+
+    def test_branch_removed(self):
+        q = if_convert(hammock_program())
+        assert not any(i.opcode is Opcode.BR for i in q)
+        assert q.metadata["if_converted"] == 1
+
+    def test_then_block_predicated_on_complement(self):
+        q = if_convert(hammock_program())
+        guards = {i.pred for i in q if i.opcode is Opcode.ADDI}
+        assert len(guards) == 1
+        guard = guards.pop()
+        # The guard is a fresh predicate computed as NOT(p1).
+        producer = next(i for i in q if guard in i.dests)
+        assert producer.opcode is Opcode.CMPEQI
+        assert producer.srcs == (P(1),)
+
+    def test_long_block_not_converted(self):
+        p = hammock_program(then_len=20)
+        q = if_convert(p, max_block=8)
+        assert any(i.opcode is Opcode.BR for i in q)
+
+    def test_loop_back_edge_not_converted(self):
+        b = ProgramBuilder("loop")
+        b.movi(R(1), 5)
+        b.label("loop")
+        b.subi(R(1), R(1), 1)
+        b.cmpnei(P(1), R(1), 0)
+        b.br("loop", pred=P(1))       # backward: ineligible
+        b.halt()
+        p = b.build()
+        q = if_convert(p)
+        assert any(i.opcode is Opcode.BR for i in q)
+        t1, t2 = execute(p), execute(q)
+        assert t1.final_registers == t2.final_registers
+
+    def test_side_entrance_blocks_conversion(self):
+        b = ProgramBuilder("side")
+        b.movi(R(1), 0)
+        b.cmpeqi(P(1), R(1), 1)
+        b.br("skip", pred=P(1))
+        b.movi(R(2), 7)
+        b.label("inside")             # targeted from below: side entrance
+        b.addi(R(2), R(2), 1)
+        b.label("skip")
+        b.cmplti(P(2), R(2), 9)
+        b.br("inside", pred=P(2))
+        b.halt()
+        p = b.build()
+        q = if_convert(p)
+        t1, t2 = execute(p), execute(q)
+        assert t1.final_registers == t2.final_registers
+
+    def test_unconditional_jump_not_converted(self):
+        b = ProgramBuilder("jmp")
+        b.movi(R(1), 1)
+        b.jmp("skip")
+        b.movi(R(2), 9)
+        b.label("skip")
+        b.halt()
+        q = if_convert(b.build())
+        assert any(i.opcode is Opcode.JMP for i in q)
+
+
+class TestPipelineIntegration:
+    def test_enabled_via_options(self):
+        p = hammock_program()
+        out = compile_program(p, CompileOptions(if_conversion=True))
+        assert not any(i.opcode is Opcode.BR for i in out)
+        t1, t2 = execute(p), execute(out)
+        assert t1.final_registers[R(3)] == t2.final_registers[R(3)]
+
+    def test_disabled_by_default(self):
+        out = compile_program(hammock_program())
+        assert any(i.opcode is Opcode.BR for i in out)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 8), st.integers(-4, 4), st.booleans())
+def test_random_hammocks_preserve_semantics(then_len, threshold, negate):
+    b = ProgramBuilder("rand")
+    b.movi(R(1), threshold)
+    b.movi(R(2), 100)
+    op = b.cmplti if negate else b.cmpeqi
+    op(P(1), R(1), 0)
+    b.br("skip", pred=P(1))
+    for k in range(then_len):
+        b.addi(R(2), R(2), k + 1)
+    b.label("skip")
+    b.halt()
+    p = b.build()
+    q = if_convert(p)
+    t1, t2 = execute(p), execute(q)
+    assert t1.final_registers.get(R(2)) == t2.final_registers.get(R(2))

@@ -1,0 +1,124 @@
+"""Tests for Tarjan SCC, criticality analysis and RESTART insertion."""
+
+from repro.compiler import (find_critical_sccs, insert_restarts,
+                            nontrivial_sccs, tarjan_scc)
+from repro.isa import F, Opcode, P, ProgramBuilder, R, execute
+
+
+def test_tarjan_simple_cycle():
+    adj = {1: [2], 2: [3], 3: [1], 4: [1]}
+    comps = {frozenset(c) for c in tarjan_scc(adj)}
+    assert frozenset({1, 2, 3}) in comps
+    assert frozenset({4}) in comps
+
+
+def test_tarjan_dag_all_singletons():
+    adj = {1: [2, 3], 2: [4], 3: [4], 4: []}
+    comps = tarjan_scc(adj)
+    assert all(len(c) == 1 for c in comps)
+    # Reverse topological: 4 before 1.
+    order = [c[0] for c in comps]
+    assert order.index(4) < order.index(1)
+
+
+def test_tarjan_two_cycles():
+    adj = {1: [2], 2: [1], 3: [4], 4: [3], 2.5: []}
+    comps = {frozenset(c) for c in nontrivial_sccs(adj)}
+    assert comps == {frozenset({1, 2}), frozenset({3, 4})}
+
+
+def test_nontrivial_includes_self_loop():
+    adj = {1: [1], 2: [3], 3: []}
+    comps = nontrivial_sccs(adj)
+    assert [c for c in comps if c == [1]]
+
+
+def test_tarjan_deep_chain_is_iterative():
+    n = 5000
+    adj = {i: [i + 1] for i in range(n)}
+    adj[n] = [0]  # one giant cycle
+    comps = tarjan_scc(adj)
+    assert len(comps) == 1
+    assert len(comps[0]) == n + 1
+
+
+def pointer_chase_program():
+    """mcf-style recurrence: the chased pointer feeds lots of work."""
+    b = ProgramBuilder("chase")
+    b.movi(R(1), 0x1000)              # 0: node ptr
+    b.movi(R(2), 0)                   # 1: acc
+    b.movi(R(3), 10)                  # 2: count
+    b.label("loop")
+    b.ld(R(1), R(1), 0)               # 3: node = node->next   (SCC)
+    b.ld(R(4), R(1), 4)               # 4: value load
+    b.mul(R(5), R(4), R(4))           # 5: expensive work
+    b.fadd(F(1), F(1), F(2))          # 6: more expensive work
+    b.add(R(2), R(2), R(5))           # 7
+    b.subi(R(3), R(3), 1)             # 8
+    b.cmplti(P(1), R(3), 1)           # 9
+    b.cmpeqi(P(2), P(1), 0)           # (not used; keep graph simple)
+    b.br("loop", pred=P(2))           # branch while p2
+    b.halt()
+    # Ring of list nodes so the loop terminates wherever it lands.
+    for i in range(16):
+        b.data_word(0x1000 + i * 8, 0x1000 + ((i + 1) % 16) * 8)
+        b.data_word(0x1000 + i * 8 + 4, i)
+    return b.build()
+
+
+def test_critical_scc_found_for_pointer_chase():
+    p = pointer_chase_program()
+    sccs = find_critical_sccs(p)
+    assert sccs, "pointer-chase recurrence should be critical"
+    chase = sccs[0]
+    assert 3 in chase.loads            # the ld r1 = [r1]
+    assert chase.preceded > chase.succeeded
+
+
+def test_restart_inserted_after_critical_load():
+    p = pointer_chase_program()
+    out = insert_restarts(p)
+    restarts = [i for i in out if i.opcode is Opcode.RESTART]
+    assert len(restarts) == 1
+    r = restarts[0]
+    load = out[r.index - 1]
+    assert load.opcode is Opcode.LD
+    assert r.srcs == (load.dests[0],)
+
+
+def test_restart_insertion_is_idempotent():
+    p = pointer_chase_program()
+    once = insert_restarts(p)
+    twice = insert_restarts(once)
+    assert once.restart_count() == twice.restart_count() == 1
+
+
+def test_restart_preserves_semantics():
+    p = pointer_chase_program()
+    out = insert_restarts(p)
+    t1 = execute(p)
+    t2 = execute(out)
+    assert t1.final_registers == t2.final_registers
+    assert t1.final_memory == t2.final_memory
+
+
+def test_no_restart_for_balanced_loop():
+    """A loop whose loads feed little downstream work stays RESTART-free."""
+    b = ProgramBuilder("balanced")
+    b.movi(R(1), 0x100)
+    b.movi(R(2), 0)
+    b.movi(R(3), 4)
+    b.label("loop")
+    b.mul(R(6), R(2), R(2))           # expensive work BEFORE the load
+    b.mul(R(7), R(6), R(6))
+    b.div(R(8), R(7), R(3))
+    b.add(R(9), R(6), R(7))
+    b.st(R(9), R(1), 32)
+    b.addi(R(1), R(1), 4)             # induction SCC contains no load
+    b.subi(R(3), R(3), 1)
+    b.cmplti(P(1), R(3), 1)
+    b.cmpeqi(P(2), P(1), 0)
+    b.br("loop", pred=P(2))
+    b.halt()
+    p = b.build()
+    assert insert_restarts(p).restart_count() == 0

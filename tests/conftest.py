@@ -1,0 +1,24 @@
+"""Shared test helpers: program construction and trace compilation."""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_program
+from repro.isa import ProgramBuilder, execute
+
+
+def build_trace(body_fn, name="t", compile_opts=None, max_instructions=500_000):
+    """Assemble, compile and functionally execute a small program.
+
+    ``body_fn(builder)`` populates the program; the returned trace is ready
+    for any timing model.
+    """
+    builder = ProgramBuilder(name)
+    body_fn(builder)
+    program = compile_program(builder.build(),
+                              compile_opts or CompileOptions())
+    return execute(program, max_instructions=max_instructions)
+
+
+@pytest.fixture
+def make_trace():
+    return build_trace

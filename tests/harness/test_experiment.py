@@ -1,0 +1,116 @@
+"""Tests for the experiment harness, reports and figure drivers."""
+
+import pytest
+
+from repro.harness import (Matrix, TraceCache, fig6_table, figure6, figure8,
+                           geomean, run_matrix, run_model, speedup_table,
+                           stall_reduction, summarize_headline, table1)
+from repro.machine import MachineConfig
+from repro.memory.configs import config2_hierarchy
+
+SCALE = 0.05
+WORKLOADS = ("mcf", "crafty")
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return TraceCache(SCALE)
+
+
+class TestTraceCache:
+    def test_traces_cached(self, cache):
+        t1 = cache.trace("mcf")
+        t2 = cache.trace("mcf")
+        assert t1 is t2
+
+    def test_unknown_workload(self, cache):
+        with pytest.raises(KeyError):
+            cache.trace("nope")
+
+
+class TestRunModel:
+    def test_all_models_run(self, cache):
+        trace = cache.trace("crafty")
+        for model in ("inorder", "multipass", "runahead", "ooo",
+                      "ooo-realistic", "multipass-noregroup",
+                      "multipass-norestart"):
+            stats = run_model(model, trace)
+            assert stats.instructions == len(trace), model
+            assert sum(stats.cycle_breakdown.values()) == stats.cycles
+
+    def test_unknown_model(self, cache):
+        with pytest.raises(KeyError):
+            run_model("pentium5", cache.trace("crafty"))
+
+    def test_custom_config(self, cache):
+        trace = cache.trace("mcf")
+        config = MachineConfig().with_hierarchy(config2_hierarchy())
+        stats = run_model("inorder", trace, config)
+        assert stats.cycles > 0
+
+
+class TestMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self, cache):
+        return run_matrix(("inorder", "multipass"), workloads=WORKLOADS,
+                          cache=cache)
+
+    def test_contents(self, matrix):
+        assert set(matrix.workloads()) == set(WORKLOADS)
+        assert set(matrix.models()) == {"inorder", "multipass"}
+
+    def test_speedup(self, matrix):
+        for workload in WORKLOADS:
+            assert matrix.speedup(workload, "inorder") == 1.0
+            assert matrix.speedup(workload, "multipass") > 0.5
+
+    def test_reports_render(self, matrix):
+        text = fig6_table(matrix, models=("inorder", "multipass"))
+        assert "mcf" in text and "multipass" in text
+        table = speedup_table(matrix, ("multipass",))
+        assert "geomean" in table
+
+    def test_summarize_headline(self, matrix):
+        summary = summarize_headline(matrix)
+        assert "mp_speedup_geomean" in summary
+        assert summary["mp_speedup_geomean"] > 0.5
+
+    def test_stall_reduction_bounds(self, matrix):
+        for workload in WORKLOADS:
+            r = stall_reduction(matrix.get(workload, "multipass"),
+                                matrix.get(workload, "inorder"))
+            assert r <= 1.0
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestFigureDrivers:
+    def test_figure6_small(self, cache):
+        result = figure6(scale=SCALE, workloads=WORKLOADS, cache=cache)
+        assert "multipass speedup" in result.text
+        assert result.data["mp_speedup_geomean"] > 0.5
+        matrix = result.data["matrix"]
+        assert set(matrix.workloads()) == set(WORKLOADS)
+
+    def test_figure8_small(self, cache):
+        result = figure8(scale=SCALE, workloads=("mcf",), cache=cache)
+        row = result.data["per_workload"]["mcf"]
+        assert 0.0 <= row["norestart_retained"] <= 1.5
+        assert "no-restart" in result.text
+
+    def test_table1_small(self, cache):
+        result = table1(scale=SCALE, workload="mcf", cache=cache)
+        assert set(result.data["peak"]) == {
+            "registers", "scheduling", "memory-ordering"}
+        for ratio in result.data["average"].values():
+            assert ratio > 0

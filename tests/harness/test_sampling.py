@@ -1,0 +1,64 @@
+"""Tests for SMARTS-style sampled simulation."""
+
+import pytest
+
+from repro.harness import TraceCache, run_model, sampled_simulation
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return TraceCache(0.25).trace("gzip")
+
+
+def test_estimates_baseline_cpi(trace):
+    full = run_model("inorder", trace)
+    result = sampled_simulation(trace, "inorder", n_units=15,
+                                unit_size=300)
+    full_cpi = full.cycles / len(trace)
+    # SMARTS-grade accuracy on the in-order machine: within 15 %.
+    assert result.estimated_cpi == pytest.approx(full_cpi, rel=0.15)
+    assert result.n_units == 15
+    assert len(result.unit_cpis) == 15
+
+
+def test_confidence_interval_reported(trace):
+    result = sampled_simulation(trace, "inorder", n_units=10,
+                                unit_size=300)
+    assert result.ci95 >= 0
+    assert 0 <= result.relative_ci < 1.0
+    assert "CPI" in result.summary()
+
+
+def test_more_units_do_not_hurt(trace):
+    full_cpi = run_model("inorder", trace).cycles / len(trace)
+    few = sampled_simulation(trace, "inorder", n_units=5, unit_size=300)
+    many = sampled_simulation(trace, "inorder", n_units=20, unit_size=300)
+    assert abs(many.estimated_cpi - full_cpi) <= \
+        abs(few.estimated_cpi - full_cpi) + 0.3
+
+
+def test_works_for_multipass(trace):
+    """The multipass estimate carries cold-episode bias at unit edges but
+    must stay in the right regime (faster than in-order)."""
+    base = sampled_simulation(trace, "inorder", n_units=10, unit_size=300)
+    mp = sampled_simulation(trace, "multipass", n_units=10, unit_size=300)
+    assert mp.estimated_cpi < base.estimated_cpi
+
+
+def test_rejects_oversampling(trace):
+    with pytest.raises(ValueError):
+        sampled_simulation(trace, "inorder", n_units=1000,
+                           unit_size=10_000)
+
+
+def test_rejects_unknown_model(trace):
+    with pytest.raises(KeyError):
+        sampled_simulation(trace, "cray-1")
+
+
+def test_estimated_cycles_scale(trace):
+    result = sampled_simulation(trace, "inorder", n_units=10,
+                                unit_size=300)
+    assert result.estimated_cycles == pytest.approx(
+        result.estimated_cpi * len(trace))
+    assert result.full_instructions == len(trace)

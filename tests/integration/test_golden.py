@@ -1,0 +1,58 @@
+"""Golden regression tests: pinned cycle counts on fixed kernels.
+
+These exist to catch unintended behaviour changes in the timing models.
+If a *deliberate* model change shifts these numbers, update the pinned
+values and note the reason in the commit — the other assertions in the
+suite (orderings, invariants, paper shapes) establish correctness; this
+file establishes stability.
+"""
+
+import pytest
+
+from repro.compiler import CompileOptions
+from repro.harness import run_model
+from tests.conftest import build_trace
+from tests.multipass.test_core import (overlap_kernel, persistence_kernel,
+                                       restart_kernel)
+
+NO_REORDER = CompileOptions(reorder=False, restarts=False)
+
+#: kernel -> model -> exact cycle count.
+GOLDEN = {
+    "overlap": {
+        "inorder": 292,
+        "multipass": 151,
+        "runahead": 154,
+        "ooo": 148,
+    },
+    "persistence": {
+        "inorder": 224,
+        "multipass": 150,
+        "runahead": 230,
+        "ooo": 151,
+    },
+}
+
+KERNELS = {
+    "overlap": overlap_kernel,
+    "persistence": persistence_kernel,
+}
+
+
+@pytest.mark.parametrize("kernel_name", sorted(GOLDEN))
+def test_golden_cycle_counts(kernel_name):
+    trace = build_trace(KERNELS[kernel_name], compile_opts=NO_REORDER)
+    for model, expected in GOLDEN[kernel_name].items():
+        stats = run_model(model, trace)
+        assert stats.cycles == expected, (
+            f"{kernel_name}/{model}: got {stats.cycles}, golden "
+            f"{expected} — update GOLDEN only for deliberate model changes"
+        )
+
+
+def test_golden_restart_kernel_counters():
+    trace = build_trace(restart_kernel, compile_opts=NO_REORDER)
+    stats = run_model("multipass", trace)
+    # Without the L2 pre-touch, C is a long miss: the RESTART still fires.
+    assert stats.counters["advance_restarts"] >= 1
+    assert stats.counters["rally_merges"] >= 1

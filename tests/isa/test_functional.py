@@ -1,0 +1,253 @@
+"""Unit tests for the golden functional simulator."""
+
+import pytest
+
+from repro.isa import (ExecutionLimitExceeded, F, Opcode, P, ProgramBuilder,
+                       R, execute, to_int32)
+
+
+def run(build_fn, **kwargs):
+    b = ProgramBuilder("t")
+    build_fn(b)
+    return execute(b.build(), **kwargs)
+
+
+def test_arithmetic_basics():
+    def body(b):
+        b.movi(R(1), 7)
+        b.movi(R(2), 5)
+        b.add(R(3), R(1), R(2))
+        b.sub(R(4), R(1), R(2))
+        b.mul(R(5), R(1), R(2))
+        b.div(R(6), R(1), R(2))
+        b.halt()
+
+    t = run(body)
+    assert t.final_registers[R(3)] == 12
+    assert t.final_registers[R(4)] == 2
+    assert t.final_registers[R(5)] == 35
+    assert t.final_registers[R(6)] == 1
+
+
+def test_int32_wraparound():
+    def body(b):
+        b.movi(R(1), 0x7FFFFFFF)
+        b.addi(R(2), R(1), 1)
+        b.halt()
+
+    t = run(body)
+    assert t.final_registers[R(2)] == -(1 << 31)
+
+
+def test_to_int32_helper():
+    assert to_int32(0) == 0
+    assert to_int32(2**31) == -(2**31)
+    assert to_int32(-1) == -1
+    assert to_int32(2**32) == 0
+    assert to_int32(2**31 - 1) == 2**31 - 1
+
+
+def test_division_semantics():
+    def body(b):
+        b.movi(R(1), -7)
+        b.movi(R(2), 2)
+        b.div(R(3), R(1), R(2))       # C-style: trunc toward zero
+        b.movi(R(4), 9)
+        b.movi(R(5), 0)
+        b.div(R(6), R(4), R(5))       # div by zero yields 0, no trap
+        b.halt()
+
+    t = run(body)
+    assert t.final_registers[R(3)] == -3
+    assert t.final_registers[R(6)] == 0
+
+
+def test_shift_masks_amount():
+    def body(b):
+        b.movi(R(1), 1)
+        b.movi(R(2), 33)              # shift amounts are mod 32
+        b.shl(R(3), R(1), R(2))
+        b.movi(R(4), -4)
+        b.shri(R(5), R(4), 1)         # logical shift of 0xFFFFFFFC
+        b.halt()
+
+    t = run(body)
+    assert t.final_registers[R(3)] == 2
+    assert t.final_registers[R(5)] == 0x7FFFFFFE
+
+
+def test_loads_stores_and_memory_image():
+    def body(b):
+        b.data_word(0x100, 42)
+        b.movi(R(1), 0x100)
+        b.ld(R(2), R(1), 0)
+        b.addi(R(3), R(2), 1)
+        b.st(R(3), R(1), 4)
+        b.ld(R(4), R(1), 4)
+        b.halt()
+
+    t = run(body)
+    assert t.final_registers[R(2)] == 42
+    assert t.final_registers[R(4)] == 43
+    assert t.final_memory[0x104] == 43
+
+
+def test_uninitialized_memory_reads_zero():
+    def body(b):
+        b.movi(R(1), 0x2000)
+        b.ld(R(2), R(1), 0)
+        b.halt()
+
+    t = run(body)
+    assert t.final_registers[R(2)] == 0
+
+
+def test_loop_and_branch():
+    def body(b):
+        b.movi(R(1), 0)   # acc
+        b.movi(R(2), 1)   # i
+        b.label("loop")
+        b.add(R(1), R(1), R(2))
+        b.addi(R(2), R(2), 1)
+        b.cmplei(P(1), R(2), 10)
+        b.br("loop", pred=P(1))
+        b.halt()
+
+    t = run(body)
+    assert t.final_registers[R(1)] == sum(range(1, 11))
+
+
+def test_predication_nullifies():
+    def body(b):
+        b.movi(R(1), 1)
+        b.cmpeqi(P(1), R(1), 0)           # false
+        b.movi(R(2), 99, pred=P(1))       # nullified
+        b.movi(R(3), 7, pred=P(1))        # nullified
+        b.cmpeqi(P(2), R(1), 1)           # true
+        b.movi(R(4), 5, pred=P(2))        # executes
+        b.halt()
+
+    t = run(body)
+    assert R(2) not in t.final_registers
+    assert R(3) not in t.final_registers
+    assert t.final_registers[R(4)] == 5
+    nullified = [e for e in t.entries if not e.executed]
+    assert len(nullified) == 2
+    # Nullified entries read only their predicate and write nothing.
+    for e in nullified:
+        assert e.dests == ()
+        assert e.srcs == (P(1),)
+
+
+def test_nullified_branch_falls_through():
+    def body(b):
+        b.movi(R(1), 0)
+        b.cmpeqi(P(1), R(1), 1)          # false
+        b.br("skip", pred=P(1))          # nullified -> falls through
+        b.movi(R(2), 1)
+        b.label("skip")
+        b.halt()
+
+    t = run(body)
+    assert t.final_registers[R(2)] == 1
+
+
+def test_fp_ops():
+    def body(b):
+        b.fmovi(F(1), 1.5)
+        b.fmovi(F(2), 2.0)
+        b.fadd(F(3), F(1), F(2))
+        b.fmul(F(4), F(1), F(2))
+        b.fdiv(F(5), F(3), F(2))
+        b.cvtfi(R(1), F(4))
+        b.cvtif(F(6), R(1))
+        b.fcmplt(P(1), F(1), F(2))
+        b.halt()
+
+    t = run(body)
+    assert t.final_registers[F(3)] == pytest.approx(3.5)
+    assert t.final_registers[F(4)] == pytest.approx(3.0)
+    assert t.final_registers[F(5)] == pytest.approx(1.75)
+    assert t.final_registers[R(1)] == 3
+    assert t.final_registers[F(6)] == pytest.approx(3.0)
+    assert t.final_registers[P(1)] is True
+
+
+def test_zero_reg_ignores_writes():
+    def body(b):
+        b.movi(R(0), 55)
+        b.mov(R(1), R(0))
+        b.halt()
+
+    t = run(body)
+    assert t.final_registers[R(1)] == 0
+
+
+def test_trace_entries_record_memory():
+    def body(b):
+        b.movi(R(1), 0x40)
+        b.movi(R(2), 17)
+        b.st(R(2), R(1), 0)
+        b.ld(R(3), R(1), 0)
+        b.halt()
+
+    t = run(body)
+    store = next(e for e in t.entries if e.is_store)
+    load = next(e for e in t.entries if e.is_load)
+    assert store.addr == 0x40 and store.value == 17
+    assert load.addr == 0x40 and load.value == 17
+
+
+def test_execution_limit_raises():
+    def body(b):
+        b.label("spin")
+        b.jmp("spin")
+        b.halt()
+
+    with pytest.raises(ExecutionLimitExceeded):
+        run(body, max_instructions=100)
+
+
+def test_execution_limit_truncates_when_allowed():
+    def body(b):
+        b.label("spin")
+        b.jmp("spin")
+        b.halt()
+
+    t = run(body, max_instructions=100, truncate_ok=True)
+    assert t.truncated
+    assert len(t) == 100
+
+
+def test_restart_is_architectural_nop():
+    def body(b):
+        b.movi(R(1), 3)
+        b.restart(R(1))
+        b.addi(R(2), R(1), 1)
+        b.halt()
+
+    t = run(body)
+    assert t.final_registers[R(2)] == 4
+    restart = next(e for e in t.entries if e.is_restart)
+    assert restart.dests == ()
+    assert restart.srcs == (R(1),)
+
+
+def test_dynamic_counts():
+    def body(b):
+        b.movi(R(1), 0x80)
+        b.ld(R(2), R(1), 0)
+        b.st(R(2), R(1), 4)
+        b.fmovi(F(1), 1.0)
+        b.mul(R(3), R(2), R(2))
+        b.cmpeqi(P(1), R(3), 0)
+        b.br("end", pred=P(1))
+        b.label("end")
+        b.halt()
+
+    t = run(body)
+    counts = t.dynamic_counts()
+    assert counts["loads"] == 1
+    assert counts["stores"] == 1
+    assert counts["muldiv"] == 1
+    assert counts["branches"] == 1

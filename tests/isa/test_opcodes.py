@@ -1,0 +1,73 @@
+"""Consistency tests over the opcode tables."""
+
+import pytest
+
+from repro.isa import FUClass, Opcode, spec_of
+from repro.isa.opcodes import (DIV_LATENCY, FDIV_LATENCY, FP_LATENCY,
+                               MNEMONIC_TO_OPCODE, MUL_LATENCY, OP_SPECS)
+
+
+def test_every_opcode_has_a_spec():
+    for op in Opcode:
+        assert op in OP_SPECS, op
+
+
+def test_mnemonics_unique_and_total():
+    assert len(MNEMONIC_TO_OPCODE) == len(OP_SPECS)
+    for mnemonic, op in MNEMONIC_TO_OPCODE.items():
+        assert spec_of(op).mnemonic == mnemonic
+
+
+def test_latencies_positive():
+    for op, spec in OP_SPECS.items():
+        assert spec.latency >= 1, op
+
+
+def test_memory_ops_classified():
+    for op in (Opcode.LD, Opcode.FLD):
+        spec = spec_of(op)
+        assert spec.is_load and spec.fu is FUClass.MEM
+        assert spec.variable_latency
+    for op in (Opcode.ST, Opcode.FST):
+        spec = spec_of(op)
+        assert spec.is_store and spec.fu is FUClass.MEM
+
+
+def test_branches_classified():
+    for op in (Opcode.BR, Opcode.JMP):
+        assert spec_of(op).is_branch
+        assert spec_of(op).fu is FUClass.BR
+
+
+def test_multi_cycle_ops():
+    """The 'other'-category stalls come from these latencies."""
+    assert spec_of(Opcode.MUL).latency == MUL_LATENCY > 1
+    assert spec_of(Opcode.DIV).latency == DIV_LATENCY > MUL_LATENCY
+    assert spec_of(Opcode.FADD).latency == FP_LATENCY > 1
+    assert spec_of(Opcode.FDIV).latency == FDIV_LATENCY > FP_LATENCY
+    assert spec_of(Opcode.MUL).multi_cycle
+    assert not spec_of(Opcode.ADD).multi_cycle
+    assert not spec_of(Opcode.LD).multi_cycle   # variable, not fixed
+
+
+def test_single_cycle_alu():
+    for op in (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+               Opcode.SHL, Opcode.SHR, Opcode.MOV, Opcode.MOVI):
+        spec = spec_of(op)
+        assert spec.latency == 1 and spec.fu is FUClass.ALU, op
+
+
+def test_compares_write_predicates():
+    for op in (Opcode.CMPEQ, Opcode.CMPLT, Opcode.CMPLTI, Opcode.FCMPLT):
+        assert spec_of(op).writes_pred, op
+
+
+def test_directives_use_no_fu():
+    for op in (Opcode.NOP, Opcode.RESTART, Opcode.HALT):
+        assert spec_of(op).fu is FUClass.NONE, op
+
+
+def test_muldiv_shares_fp_pipe():
+    """Itanium-like: integer multiply executes on the FP unit."""
+    assert spec_of(Opcode.MUL).fu is FUClass.MULDIV
+    assert spec_of(Opcode.DIV).fu is FUClass.MULDIV

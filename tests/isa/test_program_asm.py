@@ -1,0 +1,113 @@
+"""Tests for Program validation, rendering and the assembly round trip."""
+
+import pytest
+
+from repro.isa import (Instruction, Opcode, P, ProgramBuilder, ProgramError,
+                       R, execute)
+from repro.isa.asm import AsmError, parse_asm
+
+
+def small_program():
+    b = ProgramBuilder("demo")
+    b.movi(R(1), 0)
+    b.movi(R(2), 1)
+    b.label("loop")
+    b.add(R(1), R(1), R(2))
+    b.addi(R(2), R(2), 1)
+    b.cmplei(P(1), R(2), 5)
+    b.br("loop", pred=P(1))
+    b.halt()
+    return b.build()
+
+
+def test_indices_assigned_on_seal():
+    p = small_program()
+    assert [i.index for i in p] == list(range(len(p)))
+
+
+def test_unknown_branch_target_rejected():
+    b = ProgramBuilder("bad")
+    b.br("nowhere")
+    with pytest.raises(ProgramError):
+        b.build()
+
+
+def test_duplicate_label_rejected():
+    b = ProgramBuilder("bad")
+    b.label("x")
+    with pytest.raises(ProgramError):
+        b.label("x")
+
+
+def test_unaligned_data_rejected():
+    b = ProgramBuilder("bad")
+    with pytest.raises(ProgramError):
+        b.data_word(3, 1)
+
+
+def test_render_contains_labels_and_predicates():
+    p = small_program()
+    text = p.render()
+    assert "loop:" in text
+    assert "(p1) br" in text
+
+
+def test_asm_round_trip_executes_identically():
+    p = small_program()
+    reparsed = parse_asm(p.render(), name="demo2")
+    t1 = execute(p)
+    t2 = execute(reparsed)
+    assert t1.final_registers == t2.final_registers
+    assert len(t1) == len(t2)
+
+
+def test_asm_round_trip_instruction_fields():
+    p = small_program()
+    reparsed = parse_asm(p.render())
+    for a, b in zip(p.instructions, reparsed.instructions):
+        assert a.opcode == b.opcode
+        assert a.dests == b.dests
+        assert a.srcs == b.srcs
+        assert a.pred == b.pred
+        assert a.target == b.target
+
+
+def test_parse_asm_basic():
+    p = parse_asm(
+        """
+        # a comment
+        movi r1 = 5
+        movi r2 = 3
+        add r3 = r1, r2 ;;
+        st r3, r3, 0
+        halt
+        """
+    )
+    assert len(p) == 5
+    assert p[2].stop is True
+    t = execute(p)
+    assert t.final_memory[8] == 8
+
+
+def test_parse_asm_rejects_unknown_mnemonic():
+    with pytest.raises(AsmError):
+        parse_asm("frobnicate r1 = r2")
+
+
+def test_parse_asm_rejects_branch_without_target():
+    with pytest.raises((AsmError, ProgramError)):
+        parse_asm("br")
+
+
+def test_memory_ops_render_offsets():
+    i = Instruction(Opcode.LD, (R(2),), (R(1),), imm=8)
+    assert "ld" in i.render() and "8" in i.render()
+
+
+def test_restart_count():
+    b = ProgramBuilder("r")
+    b.movi(R(1), 1)
+    b.restart(R(1))
+    b.restart(R(1))
+    b.halt()
+    assert b.build().restart_count() == 2

@@ -1,0 +1,60 @@
+"""Unit tests for the flat register namespace."""
+
+import pytest
+
+from repro.isa import registers as regs
+
+
+def test_namespaces_are_disjoint():
+    ints = {regs.R(i) for i in range(regs.NUM_INT_REGS)}
+    fps = {regs.F(i) for i in range(regs.NUM_FP_REGS)}
+    preds = {regs.P(i) for i in range(regs.NUM_PRED_REGS)}
+    assert not ints & fps
+    assert not ints & preds
+    assert not fps & preds
+    assert len(ints | fps | preds) == regs.NUM_REGS
+
+
+def test_class_predicates():
+    assert regs.is_int_reg(regs.R(5))
+    assert not regs.is_int_reg(regs.F(5))
+    assert regs.is_fp_reg(regs.F(0))
+    assert regs.is_pred_reg(regs.P(63))
+    assert not regs.is_pred_reg(regs.R(63))
+
+
+def test_paper_register_file_sizes():
+    """Table 2 / Section 4: 128 int, 128 fp, 64 predicate registers."""
+    assert regs.NUM_INT_REGS == 128
+    assert regs.NUM_FP_REGS == 128
+    assert regs.NUM_PRED_REGS == 64
+
+
+def test_hardwired_registers():
+    assert regs.ZERO_REG == regs.R(0)
+    assert regs.TRUE_PRED == regs.P(0)
+    assert regs.ZERO_REG in regs.HARDWIRED
+    assert regs.TRUE_PRED in regs.HARDWIRED
+
+
+@pytest.mark.parametrize("ctor,limit", [
+    (regs.R, regs.NUM_INT_REGS),
+    (regs.F, regs.NUM_FP_REGS),
+    (regs.P, regs.NUM_PRED_REGS),
+])
+def test_out_of_range_rejected(ctor, limit):
+    with pytest.raises(ValueError):
+        ctor(limit)
+    with pytest.raises(ValueError):
+        ctor(-1)
+
+
+def test_name_round_trip():
+    for rid in (regs.R(0), regs.R(127), regs.F(0), regs.F(64), regs.P(63)):
+        assert regs.parse_reg(regs.reg_name(rid)) == rid
+
+
+def test_parse_rejects_garbage():
+    for text in ("x3", "r", "p-1", "rr1", "", "f1.5"):
+        with pytest.raises(ValueError):
+            regs.parse_reg(text)

@@ -1,0 +1,76 @@
+"""Unit tests for the set-associative LRU cache model."""
+
+import pytest
+
+from repro.memory import Cache, CacheConfig
+
+
+def small_cache(assoc=2, sets=4, line=64):
+    return Cache(CacheConfig("T", line * assoc * sets, line, assoc, 1))
+
+
+def test_geometry():
+    cfg = CacheConfig("L1D", 16 * 1024, 64, 4, 1)
+    assert cfg.num_sets == 64
+    assert cfg.num_lines == 256
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ValueError):
+        CacheConfig("bad", 1000, 64, 4, 1)
+
+
+def test_miss_then_fill_then_hit():
+    c = small_cache()
+    assert c.access(0) is False
+    c.fill(0)
+    assert c.access(0) is True
+    assert c.accesses == 2 and c.hits == 1 and c.misses == 1
+
+
+def test_access_does_not_allocate():
+    c = small_cache()
+    c.access(0)
+    assert c.access(0) is False   # still absent until fill()
+
+
+def test_same_line_offsets_hit():
+    c = small_cache(line=64)
+    c.fill(0)
+    assert c.access(63) is True
+    assert c.access(64) is False
+
+
+def test_lru_eviction_within_set():
+    c = small_cache(assoc=2, sets=1, line=64)
+    c.fill(0)      # line 0
+    c.fill(64)     # line 1
+    c.access(0)    # touch line 0 -> line 1 is now LRU
+    victim = c.fill(128)
+    assert victim == 1
+    assert c.probe(0) and not c.probe(64) and c.probe(128)
+
+
+def test_sets_are_independent():
+    c = small_cache(assoc=1, sets=2, line=64)
+    c.fill(0)       # set 0
+    c.fill(64)      # set 1
+    assert c.probe(0) and c.probe(64)
+    c.fill(128)     # set 0 again -> evicts line 0
+    assert not c.probe(0) and c.probe(64)
+
+
+def test_invalidate_all():
+    c = small_cache()
+    c.fill(0)
+    c.invalidate_all()
+    assert not c.probe(0)
+
+
+def test_miss_rate():
+    c = small_cache()
+    assert c.miss_rate == 0.0
+    c.access(0)
+    c.fill(0)
+    c.access(0)
+    assert c.miss_rate == pytest.approx(0.5)

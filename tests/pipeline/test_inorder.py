@@ -1,0 +1,198 @@
+"""Tests for the baseline in-order core."""
+
+import pytest
+
+from repro.isa import P, R
+from repro.machine import MachineConfig
+from repro.pipeline import InOrderCore, StallCategory, simulate_inorder
+from tests.conftest import build_trace
+
+
+def run(body_fn, config=None, **kwargs):
+    trace = build_trace(body_fn, **kwargs)
+    return simulate_inorder(trace, config), trace
+
+
+def test_independent_ops_issue_wide():
+    def body(b):
+        for i in range(1, 13):   # 12 independent movis
+            b.movi(R(i), i)
+        b.halt()
+
+    stats, trace = run(body)
+    # 13 instructions over >= 3 cycles (6-wide) but far fewer than 13.
+    assert stats.instructions == len(trace)
+    assert stats.cycles <= 6
+
+
+def test_dependent_chain_serializes():
+    def body(b):
+        b.movi(R(1), 0)
+        for _ in range(20):
+            b.addi(R(1), R(1), 1)
+        b.halt()
+
+    stats, _ = run(body)
+    assert stats.cycles >= 20
+
+
+def test_load_miss_stall_on_use_not_on_miss():
+    """Independent work after a missing load keeps executing (Fig. 1a)."""
+    def body(b):
+        b.movi(R(1), 0x10000)
+        b.ld(R(2), R(1), 0)            # cold miss -> 145 cycles
+        for i in range(3, 60):         # plenty of independent work
+            b.movi(R(i), i)
+        b.add(R(60), R(2), R(2))       # first consumer
+        b.halt()
+
+    stats, _ = run(body)
+    assert stats.cycle_breakdown[StallCategory.LOAD] > 100
+    # The independent movis all executed before the stall completed.
+    assert stats.cycle_breakdown[StallCategory.EXECUTION] >= 10
+
+
+def test_load_hit_after_warmup_is_fast():
+    def body(b):
+        b.movi(R(1), 0x10000)
+        b.ld(R(2), R(1), 0)       # warm the line
+        b.add(R(3), R(2), R(2))   # long stall once
+        b.ld(R(4), R(1), 0)       # hit
+        b.add(R(5), R(4), R(4))
+        b.halt()
+
+    stats, _ = run(body)
+    # One trip to main memory only — the second load either hits the
+    # filled line or merges into the in-flight fill.
+    assert stats.memory.memory_accesses == 1
+
+
+def test_multiply_stall_charged_other():
+    def body(b):
+        b.movi(R(1), 3)
+        b.mul(R(2), R(1), R(1))
+        b.add(R(3), R(2), R(2))   # stalls on the multiply
+        b.halt()
+
+    stats, _ = run(body)
+    assert stats.cycle_breakdown[StallCategory.OTHER] >= 2
+    assert stats.cycle_breakdown[StallCategory.LOAD] == 0
+
+
+def test_loop_executes_all_iterations():
+    def body(b):
+        b.movi(R(1), 0)
+        b.movi(R(2), 100)
+        b.label("loop")
+        b.addi(R(1), R(1), 1)
+        b.cmplti(P(1), R(1), 100)
+        b.br("loop", pred=P(1))
+        b.halt()
+
+    stats, trace = run(body)
+    assert stats.instructions == len(trace)
+    assert stats.cycles >= 100
+
+
+def test_front_end_stall_on_mispredicts():
+    """Data-dependent unpredictable branches cost front-end cycles."""
+    def body(b):
+        # LCG produces pseudo-random branch directions.
+        b.movi(R(1), 12345)
+        b.movi(R(2), 0)
+        b.movi(R(3), 200)
+        b.label("loop")
+        b.movi(R(4), 1103515245)
+        b.mul(R(1), R(1), R(4))
+        b.addi(R(1), R(1), 12345)
+        b.shri(R(5), R(1), 16)
+        b.andi(R(6), R(5), 1)
+        b.cmpeqi(P(1), R(6), 1)
+        b.addi(R(2), R(2), 1, pred=P(1))
+        b.cmpnei(P(3), R(6), 1)
+        b.br("skip", pred=P(3))
+        b.addi(R(2), R(2), 2)
+        b.label("skip")
+        b.subi(R(3), R(3), 1)
+        b.cmplti(P(2), R(3), 1)
+        b.cmpeqi(P(4), P(2), 0)
+        b.br("loop", pred=P(4))
+        b.halt()
+
+    stats, _ = run(body)
+    assert stats.counters["mispredicts"] > 10
+    assert stats.cycle_breakdown[StallCategory.FRONT_END] > 0
+
+
+def test_waw_scoreboard_stall():
+    """A 1-cycle writer may not complete under an in-flight load miss."""
+    def body(b):
+        b.movi(R(1), 0x20000)
+        b.ld(R(2), R(1), 0)       # miss, r2 ready late
+        b.movi(R(2), 5)           # WAW with the load
+        b.halt()
+
+    stats, _ = run(body)
+    assert stats.counters["waw_stalls"] >= 1
+
+
+def test_stats_accounting_consistent():
+    def body(b):
+        b.movi(R(1), 0x30000)
+        b.ld(R(2), R(1), 0)
+        b.add(R(3), R(2), R(2))
+        b.halt()
+
+    stats, trace = run(body)
+    assert sum(stats.cycle_breakdown.values()) == stats.cycles
+    assert stats.instructions == len(trace)
+    assert 0 < stats.ipc <= 6
+
+
+def test_deterministic():
+    def body(b):
+        b.movi(R(1), 0x40000)
+        b.movi(R(3), 50)
+        b.label("loop")
+        b.ld(R(2), R(1), 0)
+        b.add(R(4), R(2), R(4))
+        b.addi(R(1), R(1), 64)
+        b.subi(R(3), R(3), 1)
+        b.cmplti(P(1), R(3), 1)
+        b.cmpeqi(P(2), P(1), 0)
+        b.br("loop", pred=P(2))
+        b.halt()
+
+    (s1, _), (s2, _) = run(body), run(body)
+    assert s1.cycles == s2.cycles
+    assert s1.cycle_breakdown == s2.cycle_breakdown
+
+
+def test_bigger_buffer_never_hurts():
+    def body(b):
+        b.movi(R(1), 0x50000)
+        b.movi(R(3), 30)
+        b.label("loop")
+        b.ld(R(2), R(1), 0)
+        b.add(R(4), R(2), R(4))
+        b.addi(R(1), R(1), 128)
+        b.subi(R(3), R(3), 1)
+        b.cmplti(P(1), R(3), 1)
+        b.cmpeqi(P(2), P(1), 0)
+        b.br("loop", pred=P(2))
+        b.halt()
+
+    small, _ = run(body, config=MachineConfig(inorder_buffer_size=12))
+    big, _ = run(body, config=MachineConfig(inorder_buffer_size=48))
+    assert big.cycles <= small.cycles + 2
+
+
+def test_ipc_bounded_by_width():
+    def body(b):
+        for outer in range(40):
+            for i in range(1, 7):
+                b.movi(R(i + (outer % 2) * 6), i)
+        b.halt()
+
+    stats, trace = run(body)
+    assert stats.ipc <= 6.0 + 1e-9

@@ -1,0 +1,58 @@
+"""Unit tests for SimStats and the stall taxonomy helpers."""
+
+import pytest
+
+from repro.pipeline.stats import SimStats, StallCategory
+
+
+def make_stats(**breakdown):
+    stats = SimStats(model="m", workload="w")
+    for name, cycles in breakdown.items():
+        stats.charge(StallCategory[name.upper()], cycles)
+    return stats
+
+
+def test_charge_accumulates():
+    stats = make_stats(execution=10, load=5)
+    assert stats.cycles == 15
+    assert stats.cycle_breakdown[StallCategory.LOAD] == 5
+    assert stats.stall_cycles == 5
+    assert stats.load_stall_cycles == 5
+
+
+def test_ipc():
+    stats = make_stats(execution=20)
+    stats.instructions = 40
+    assert stats.ipc == pytest.approx(2.0)
+    empty = SimStats(model="m", workload="w")
+    assert empty.ipc == 0.0
+
+
+def test_normalized_breakdown():
+    stats = make_stats(execution=30, other=10, load=60)
+    norm = stats.normalized_breakdown(200)
+    assert norm[StallCategory.EXECUTION] == pytest.approx(0.15)
+    assert norm[StallCategory.LOAD] == pytest.approx(0.30)
+    with pytest.raises(ValueError):
+        stats.normalized_breakdown(0)
+
+
+def test_speedup_over():
+    fast = make_stats(execution=50)
+    slow = make_stats(execution=100)
+    assert fast.speedup_over(slow) == pytest.approx(2.0)
+    empty = SimStats(model="m", workload="w")
+    with pytest.raises(ValueError):
+        empty.speedup_over(slow)
+
+
+def test_summary_lists_all_categories():
+    stats = make_stats(execution=1, front_end=2, other=3, load=4)
+    text = stats.summary()
+    for category in StallCategory:
+        assert category.value in text
+
+
+def test_counters_default_zero():
+    stats = SimStats(model="m", workload="w")
+    assert stats.counters["anything"] == 0   # Counter semantics

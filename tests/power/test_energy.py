@@ -1,0 +1,63 @@
+"""Tests for the execution-energy accounting."""
+
+import pytest
+
+from repro.compiler import CompileOptions
+from repro.harness import run_model
+from repro.isa.opcodes import FUClass
+from repro.power import (DEFAULT_EVENT_ENERGY, energy_comparison,
+                         execution_energy)
+from tests.conftest import build_trace
+from tests.multipass.test_core import persistence_kernel
+
+NO_REORDER = CompileOptions(reorder=False, restarts=False)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    trace = build_trace(persistence_kernel, compile_opts=NO_REORDER)
+    return trace, {m: run_model(m, trace)
+                   for m in ("inorder", "multipass", "runahead", "ooo")}
+
+
+def test_inorder_executes_exactly_once(runs):
+    trace, models = runs
+    result = execution_energy(models["inorder"], trace)
+    assert result.redundancy == pytest.approx(1.0)
+    assert result.fu_events == pytest.approx(len(trace))
+
+
+def test_runahead_pays_for_reexecution(runs):
+    trace, models = runs
+    ra = execution_energy(models["runahead"], trace)
+    mp = execution_energy(models["multipass"], trace)
+    # The persistence kernel pre-executes a long multiply chain: runahead
+    # runs it twice, multipass merges it.
+    assert ra.redundancy > 1.15
+    assert mp.redundancy < ra.redundancy
+    assert mp.redundancy == pytest.approx(1.0, abs=0.1)
+
+
+def test_energy_positive_and_ordered(runs):
+    trace, models = runs
+    for stats in models.values():
+        result = execution_energy(stats, trace)
+        assert result.energy_joules > 0
+        assert set(result.by_class) == set(FUClass)
+
+
+def test_comparison_normalizes_baseline(runs):
+    trace, models = runs
+    ratios = energy_comparison(models, trace)
+    assert ratios["inorder"] == pytest.approx(1.0)
+    assert ratios["runahead"] > ratios["multipass"]
+
+
+def test_custom_event_energy(runs):
+    trace, models = runs
+    expensive_fp = dict(DEFAULT_EVENT_ENERGY)
+    expensive_fp[FUClass.MULDIV] *= 100   # the kernel is multiply-heavy
+    cheap = execution_energy(models["inorder"], trace)
+    costly = execution_energy(models["inorder"], trace,
+                              event_energy=expensive_fp)
+    assert costly.energy_joules > cheap.energy_joules

@@ -1,0 +1,134 @@
+"""Tests for the Wattch-style power models and Table 1 ratios."""
+
+import pytest
+
+from repro.compiler import CompileOptions
+from repro.isa import P, R
+from repro.multipass import simulate_multipass
+from repro.ooo import simulate_ooo
+from repro.power import (ArrayStructure, CamStructure, MatrixStructure,
+                         PAPER_PEAK_RATIOS, TechParams, average_ratios,
+                         multipass_power, ooo_power, table1_groups)
+from tests.conftest import build_trace
+
+
+class TestComponentModels:
+    def test_array_energy_scales_with_ports(self):
+        few = ArrayStructure("a", 128, 32, read_ports=2, write_ports=1)
+        many = ArrayStructure("b", 128, 32, read_ports=8, write_ports=4)
+        assert many.energy_per_access() > few.energy_per_access()
+
+    def test_array_energy_scales_with_size(self):
+        small = ArrayStructure("a", 64, 32)
+        big = ArrayStructure("b", 1024, 32)
+        assert big.energy_per_access() > small.energy_per_access()
+
+    def test_banking_reduces_access_energy(self):
+        flat = ArrayStructure("a", 256, 41, wide_read_ports=1,
+                              wide_write_ports=1, banks=1)
+        banked = ArrayStructure("b", 256, 41, wide_read_ports=1,
+                                wide_write_ports=1, banks=2)
+        assert banked.energy_per_access(wide=True) < \
+            flat.energy_per_access(wide=True)
+
+    def test_wide_access_costs_more_than_narrow(self):
+        rs = ArrayStructure("rs", 256, 33, write_ports=2,
+                            wide_read_ports=1, wide_write_ports=1)
+        assert rs.energy_per_access(wide=True) > rs.energy_per_access()
+
+    def test_cam_search_far_exceeds_array_read(self):
+        """The paper's central claim: CAMs cost far more than arrays."""
+        cam = CamStructure("cam", 48, tag_bits=32, search_ports=2,
+                           write_ports=2)
+        array = ArrayStructure("arr", 48, 32, read_ports=2, write_ports=2)
+        assert cam.search_energy() > 3 * array.energy_per_access()
+
+    def test_matrix_wakeup_is_cheap(self):
+        matrix = MatrixStructure("wakeup", 128, 329)
+        cam = CamStructure("cam", 128, tag_bits=8)
+        assert matrix.evaluate_energy() < cam.search_energy()
+
+    def test_peak_power_positive(self):
+        for group in table1_groups().values():
+            for s in group.ooo + group.multipass:
+                assert s.peak_power() > 0
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayStructure("bad", 0, 32)
+        with pytest.raises(ValueError):
+            CamStructure("bad", 16, 0)
+
+
+class TestTable1PeakRatios:
+    """Measured ratios must land in the paper's regime (shape, not digits)."""
+
+    def test_register_structures_comparable(self):
+        ratio = table1_groups()["registers"].peak_ratio()
+        assert 0.8 <= ratio <= 1.5, ratio
+        assert ratio == pytest.approx(PAPER_PEAK_RATIOS["registers"],
+                                      rel=0.25)
+
+    def test_scheduling_order_of_magnitude(self):
+        ratio = table1_groups()["scheduling"].peak_ratio()
+        assert 7.0 <= ratio <= 14.0, ratio
+        assert ratio == pytest.approx(PAPER_PEAK_RATIOS["scheduling"],
+                                      rel=0.25)
+
+    def test_memory_ordering_ratio(self):
+        ratio = table1_groups()["memory-ordering"].peak_ratio()
+        assert 2.0 <= ratio <= 5.0, ratio
+        assert ratio == pytest.approx(
+            PAPER_PEAK_RATIOS["memory-ordering"], rel=0.25)
+
+
+def memory_heavy_kernel(b):
+    b.movi(R(1), 0x100000)
+    b.movi(R(30), 60)
+    b.label("loop")
+    b.ld(R(2), R(1), 0)
+    b.add(R(3), R(2), R(3))
+    b.st(R(3), R(1), 4)
+    b.addi(R(1), R(1), 4096)
+    b.subi(R(30), R(30), 1)
+    b.cmplti(P(1), R(30), 1)
+    b.cmpeqi(P(2), P(1), 0)
+    b.br("loop", pred=P(2))
+    b.halt()
+
+
+class TestAveragePower:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        trace = build_trace(memory_heavy_kernel,
+                            compile_opts=CompileOptions(restarts=False))
+        return trace, simulate_multipass(trace), simulate_ooo(trace)
+
+    def test_breakdowns_positive(self, runs):
+        trace, mp, ooo = runs
+        mp_bd = multipass_power(mp, trace)
+        ooo_bd = ooo_power(ooo, trace)
+        assert all(w > 0 for w in mp_bd.watts.values())
+        assert all(w > 0 for w in ooo_bd.watts.values())
+
+    def test_average_below_peak(self, runs):
+        trace, mp, ooo = runs
+        groups = table1_groups()
+        mp_bd = multipass_power(mp, trace)
+        mp_peak = sum(s.peak_power()
+                      for g in groups.values() for s in g.multipass)
+        assert mp_bd.total() < mp_peak
+
+    def test_ooo_wins_no_average_row(self, runs):
+        """Every Table 1 row has average ratio > 1 (OOO costs more)."""
+        trace, mp, ooo = runs
+        ratios = average_ratios(ooo_power(ooo, trace),
+                                multipass_power(mp, trace))
+        for row, ratio in ratios.items():
+            assert ratio > 1.0, (row, ratio)
+
+    def test_scheduling_row_strongly_favors_multipass(self, runs):
+        trace, mp, ooo = runs
+        ratios = average_ratios(ooo_power(ooo, trace),
+                                multipass_power(mp, trace))
+        assert ratios["scheduling"] > 3.0

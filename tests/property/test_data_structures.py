@@ -1,0 +1,185 @@
+"""Hypothesis property tests for the core data structures."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.branch import GsharePredictor
+from repro.compiler import tarjan_scc
+from repro.isa import to_int32
+from repro.memory import Cache, CacheConfig, MSHRFile
+from repro.multipass import (HIT, HIT_INVALID, MISS, MISS_SPECULATIVE,
+                             AdvanceStoreCache, RSEntry, ResultStore)
+
+
+class TestInt32:
+    @given(st.integers())
+    def test_range(self, x):
+        v = to_int32(x)
+        assert -(1 << 31) <= v < (1 << 31)
+
+    @given(st.integers())
+    def test_idempotent(self, x):
+        assert to_int32(to_int32(x)) == to_int32(x)
+
+    @given(st.integers(), st.integers())
+    def test_addition_homomorphism(self, a, b):
+        assert to_int32(to_int32(a) + to_int32(b)) == to_int32(a + b)
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_identity_in_range(self, x):
+        assert to_int32(x) == x
+
+
+word_addrs = st.integers(min_value=0, max_value=1 << 16).map(lambda w: w * 4)
+
+
+class TestCacheProperties:
+    @given(st.lists(word_addrs, min_size=1, max_size=200))
+    def test_fill_then_probe_hits(self, addrs):
+        cache = Cache(CacheConfig("t", 4096, 64, 2, 1))
+        for addr in addrs:
+            cache.fill(addr)
+            assert cache.probe(addr)
+
+    @given(st.lists(word_addrs, max_size=200))
+    def test_occupancy_bounded(self, addrs):
+        config = CacheConfig("t", 2048, 64, 4, 1)
+        cache = Cache(config)
+        for addr in addrs:
+            cache.access(addr)
+            cache.fill(addr)
+        for cache_set in cache._sets:
+            assert len(cache_set) <= config.assoc
+
+    @given(st.lists(word_addrs, max_size=200))
+    def test_stats_consistent(self, addrs):
+        cache = Cache(CacheConfig("t", 2048, 64, 4, 1))
+        for addr in addrs:
+            cache.access(addr)
+        assert cache.hits + cache.misses == cache.accesses
+
+
+class TestMSHRProperties:
+    @given(st.lists(st.tuples(st.integers(0, 63),
+                              st.integers(0, 50)), max_size=64),
+           st.integers(1, 8))
+    def test_outstanding_bounded(self, ops, capacity):
+        mshr = MSHRFile(capacity)
+        now = 0
+        for line, delta in ops:
+            now += delta
+            ready = mshr.allocate(line, now, latency=100)
+            assert ready >= now
+            assert mshr.outstanding(now) <= capacity
+
+    @given(st.lists(st.integers(0, 15), min_size=2, max_size=40))
+    def test_same_line_merges(self, lines):
+        mshr = MSHRFile(16)
+        first = {}
+        for line in lines:
+            ready = mshr.allocate(line, now=0, latency=100)
+            if line in first:
+                assert ready == first[line]   # merged into same fill
+            first.setdefault(line, ready)
+
+
+class TestGshareProperties:
+    @given(st.lists(st.tuples(st.integers(0, 1023), st.booleans()),
+                    max_size=500))
+    def test_counters_consistent(self, events):
+        p = GsharePredictor()
+        for pc, taken in events:
+            p.update(pc, taken)
+        assert p.predictions == len(events)
+        assert 0 <= p.mispredictions <= p.predictions
+        assert 0.0 <= p.accuracy <= 1.0
+
+    @given(st.lists(st.tuples(st.integers(0, 255), st.booleans()),
+                    max_size=200))
+    def test_deterministic(self, events):
+        p1, p2 = GsharePredictor(), GsharePredictor()
+        for pc, taken in events:
+            assert p1.update(pc, taken) == p2.update(pc, taken)
+        assert p1._counters == p2._counters
+
+
+class TestASCProperties:
+    @given(st.lists(st.tuples(st.booleans(), word_addrs,
+                              st.integers(0, 1000)), max_size=120))
+    def test_matches_reference_model(self, ops):
+        """The ASC must forward the latest store value or admit it could
+        have lost one (data-speculative) — never silently return a stale
+        value as a clean hit."""
+        asc = AdvanceStoreCache(entries=8, assoc=2)
+        reference = {}
+        for is_write, addr, value in ops:
+            if is_write:
+                asc.write(addr, value)
+                reference[addr] = value
+            else:
+                outcome, forwarded = asc.read(addr)
+                if outcome == HIT:
+                    assert forwarded == reference[addr]
+                elif outcome == MISS:
+                    assert addr not in reference or True
+                else:
+                    assert outcome in (MISS_SPECULATIVE, HIT_INVALID)
+
+    @given(st.lists(st.tuples(word_addrs, st.integers(0, 99)),
+                    min_size=1, max_size=60))
+    def test_clear_empties(self, writes):
+        asc = AdvanceStoreCache(entries=8, assoc=2)
+        for addr, value in writes:
+            asc.write(addr, value)
+        asc.clear()
+        for addr, _ in writes:
+            assert asc.read(addr)[0] == MISS
+
+
+class TestResultStoreProperties:
+    @given(st.lists(st.tuples(st.sampled_from(["put", "pop", "clear_from"]),
+                              st.integers(0, 63)), max_size=200))
+    def test_matches_dict_model(self, ops):
+        rs = ResultStore()
+        model = {}
+        for op, seq in ops:
+            if op == "put":
+                rs.put(RSEntry(seq, ready=0))
+                model[seq] = True
+            elif op == "pop":
+                got = rs.pop(seq)
+                assert (got is not None) == (seq in model)
+                model.pop(seq, None)
+            else:
+                rs.clear_from(seq)
+                model = {s: v for s, v in model.items() if s < seq}
+            assert len(rs) == len(model)
+            assert rs.max_seq() == (max(model) if model else -1)
+
+
+class TestTarjanProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.dictionaries(st.integers(0, 15),
+                           st.lists(st.integers(0, 15), max_size=4),
+                           max_size=16))
+    def test_components_partition_nodes(self, adj):
+        comps = tarjan_scc(adj)
+        seen = [n for comp in comps for n in comp]
+        all_nodes = set(adj) | {t for ts in adj.values() for t in ts}
+        assert sorted(seen) == sorted(all_nodes)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.dictionaries(st.integers(0, 12),
+                           st.lists(st.integers(0, 12), max_size=4),
+                           max_size=13))
+    def test_matches_networkx(self, adj):
+        import networkx as nx
+        g = nx.DiGraph()
+        g.add_nodes_from(adj)
+        for src, targets in adj.items():
+            for dst in targets:
+                g.add_edge(src, dst)
+        expected = {frozenset(c)
+                    for c in nx.strongly_connected_components(g)}
+        got = {frozenset(c) for c in tarjan_scc(adj)}
+        assert got == expected

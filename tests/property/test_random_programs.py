@@ -1,0 +1,154 @@
+"""End-to-end property tests over randomly generated programs.
+
+Hypothesis builds small but adversarial programs (random ALU/memory/
+predicate operations inside a bounded loop), and we check the invariants
+every layer must preserve:
+
+* the compiler (scheduling + grouping + RESTART insertion) does not
+  change architectural results;
+* every timing model commits each dynamic instruction exactly once and
+  its cycle breakdown accounts for every cycle;
+* the multipass core's result preservation and value-based memory
+  verification never corrupt execution, under every ablation flag.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.compiler import CompileOptions, compile_program
+from repro.harness import run_model
+from repro.isa import P, ProgramBuilder, R, execute
+from repro.multipass import MultipassCore
+
+# Registers the generator may write; r12/r13 are reserved memory bases and
+# r14 the loop counter.
+WRITABLE = [R(i) for i in range(1, 9)]
+BASES = [R(12), R(13)]
+COUNTER = R(14)
+PREDS = [P(1), P(2)]
+REGION_A, REGION_B = 0x1000, 0x8000
+
+reg = st.sampled_from(WRITABLE)
+base = st.sampled_from(BASES)
+pred = st.sampled_from(PREDS)
+offset = st.integers(0, 15).map(lambda k: k * 4)
+small_imm = st.integers(-64, 64)
+
+op = st.one_of(
+    st.tuples(st.just("add"), reg, reg, reg),
+    st.tuples(st.just("sub"), reg, reg, reg),
+    st.tuples(st.just("xor"), reg, reg, reg),
+    st.tuples(st.just("mul"), reg, reg, reg),
+    st.tuples(st.just("addi"), reg, reg, small_imm),
+    st.tuples(st.just("shli"), reg, reg, st.integers(0, 4)),
+    st.tuples(st.just("movi"), reg, small_imm),
+    st.tuples(st.just("ld"), reg, base, offset),
+    st.tuples(st.just("st"), reg, base, offset),
+    st.tuples(st.just("cmplti"), pred, reg, small_imm),
+    st.tuples(st.just("pred_addi"), reg, reg, small_imm, pred),
+    st.tuples(st.just("pred_st"), reg, base, offset, pred),
+)
+
+programs = st.tuples(
+    st.lists(op, min_size=3, max_size=25),
+    st.integers(1, 6),          # loop trip count
+    st.booleans(),              # include a RESTART directive
+)
+
+
+def materialize(spec) -> ProgramBuilder:
+    body, trips, with_restart = spec
+    b = ProgramBuilder("random")
+    for i, r in enumerate(WRITABLE):
+        b.movi(r, i + 1)
+    b.movi(BASES[0], REGION_A)
+    b.movi(BASES[1], REGION_B)
+    b.movi(COUNTER, trips)
+    b.label("loop")
+    for emitted, item in enumerate(body):
+        kind = item[0]
+        if kind == "pred_addi":
+            _, rd, rs, imm, p = item
+            b.addi(rd, rs, imm, pred=p)
+        elif kind == "pred_st":
+            _, rs, rb, off, p = item
+            b.st(rs, rb, off, pred=p)
+        elif kind == "movi":
+            _, rd, imm = item
+            b.movi(rd, imm)
+        elif kind == "ld":
+            _, rd, rb, off = item
+            b.ld(rd, rb, off)
+            if with_restart and emitted == len(body) // 2:
+                b.restart(rd)
+        elif kind == "st":
+            _, rs, rb, off = item
+            b.st(rs, rb, off)
+        elif kind == "cmplti":
+            _, pd, rs, imm = item
+            b.cmplti(pd, rs, imm)
+        elif kind in ("addi", "shli"):
+            _, rd, rs, imm = item
+            getattr(b, kind)(rd, rs, imm)
+        else:
+            _, rd, rs1, rs2 = item
+            {"add": b.add, "sub": b.sub, "xor": b.xor,
+             "mul": b.mul}[kind](rd, rs1, rs2)
+    b.subi(COUNTER, COUNTER, 1)
+    b.cmpnei(P(3), COUNTER, 0)
+    b.br("loop", pred=P(3))
+    b.halt()
+    return b
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(programs)
+def test_compilation_preserves_semantics(spec):
+    program = materialize(spec).build()
+    compiled = compile_program(program)
+    original = execute(program)
+    scheduled = execute(compiled)
+    assert original.final_registers == scheduled.final_registers
+    assert original.final_memory == scheduled.final_memory
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(programs)
+def test_all_models_commit_everything(spec):
+    compiled = compile_program(materialize(spec).build())
+    trace = execute(compiled)
+    for model in ("inorder", "multipass", "runahead", "ooo",
+                  "ooo-realistic"):
+        stats = run_model(model, trace)
+        assert stats.instructions == len(trace), model
+        assert sum(stats.cycle_breakdown.values()) == stats.cycles, model
+        assert stats.cycles >= len(trace) / 6 - 1, model
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(programs, st.booleans(), st.booleans(), st.booleans())
+def test_multipass_ablations_sound(spec, regroup, restart, waw_flag):
+    compiled = compile_program(materialize(spec).build())
+    trace = execute(compiled)
+    core = MultipassCore(trace, enable_regroup=regroup,
+                         enable_restart=restart,
+                         l1_miss_writes_srf=waw_flag)
+    stats = core.run()
+    assert stats.instructions == len(trace)
+    assert sum(stats.cycle_breakdown.values()) == stats.cycles
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(programs)
+def test_models_deterministic(spec):
+    compiled = compile_program(materialize(spec).build())
+    trace = execute(compiled)
+    for model in ("multipass", "ooo"):
+        a = run_model(model, trace)
+        b = run_model(model, trace)
+        assert a.cycles == b.cycles, model
+        assert a.cycle_breakdown == b.cycle_breakdown, model
