@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Full verification gate: static lint -> type check -> tier-1 tests ->
+# differential equivalence over the two fastest workloads.
+#
+# ruff and mypy are optional (the CI image may not ship them); each is
+# skipped with a notice when absent so the gate stays runnable anywhere.
+set -u
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+failures=0
+
+step() {
+    echo
+    echo "==> $*"
+}
+
+step "ruff (static lint)"
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests || failures=$((failures + 1))
+else
+    echo "ruff not installed; skipping"
+fi
+
+step "mypy (type check)"
+if command -v mypy >/dev/null 2>&1; then
+    mypy || failures=$((failures + 1))
+else
+    echo "mypy not installed; skipping"
+fi
+
+step "pytest (tier-1 suite)"
+python -m pytest -x -q || failures=$((failures + 1))
+
+step "repro lint (workload verifier)"
+python -m repro lint || failures=$((failures + 1))
+
+step "repro diffcheck (differential equivalence: vpr, parser)"
+python -m repro diffcheck vpr parser || failures=$((failures + 1))
+
+echo
+if [ "$failures" -ne 0 ]; then
+    echo "check.sh: $failures step(s) FAILED"
+    exit 1
+fi
+echo "check.sh: all steps passed"

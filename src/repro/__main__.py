@@ -2,11 +2,15 @@
 
 Commands:
 
-* ``simulate`` — run one workload through one or more timing models.
+* ``simulate`` — run one workload through one or more timing models
+  (``--check`` enables runtime invariant checking).
 * ``compare``  — race all primary models on one workload.
 * ``workloads`` — list the packaged SPEC-like kernels.
 * ``models``    — list the available timing models.
 * ``figures``   — regenerate a paper figure/table by name.
+* ``lint``      — run the static program verifier over workloads.
+* ``diffcheck`` — differentially execute all simulators and assert
+  identical final architectural state.
 """
 
 from __future__ import annotations
@@ -51,10 +55,62 @@ def _cmd_simulate(args) -> int:
     print(f"{args.workload}: {len(trace)} dynamic instructions "
           f"(scale {args.scale})\n")
     for model in args.models:
-        stats = run_model(model, trace)
+        stats = run_model(model, trace, check=args.check)
         print(stats.summary())
         print()
+    if args.check:
+        print("runtime invariant checks passed for all models")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from .analysis.verifier import verify_compiled, verify_program
+    from .compiler import CompileOptions, compile_program
+    from .workloads import build_workload
+
+    workloads = args.workloads or list(ALL_WORKLOADS)
+    unknown = [w for w in workloads if w not in ALL_WORKLOADS]
+    if unknown:
+        print(f"repro lint: unknown workload(s) {unknown}; "
+              f"available: {sorted(ALL_WORKLOADS)}", file=sys.stderr)
+        return 2
+    total = 0
+    for name in workloads:
+        program = build_workload(name, args.scale, verify=False)
+        diags = list(verify_program(program))
+        compiled = compile_program(program, CompileOptions())
+        diags += [d for d in verify_compiled(compiled)]
+        for diag in diags:
+            print(diag.render(name))
+        total += len(diags)
+        status = "ok" if not diags else f"{len(diags)} finding(s)"
+        print(f"{name:>8}: {len(program)} source / {len(compiled)} "
+              f"compiled instructions — {status}")
+    print(f"\nlint: {total} diagnostic(s) across {len(workloads)} "
+          f"workload(s)")
+    return 1 if total else 0
+
+
+def _cmd_diffcheck(args) -> int:
+    from .analysis.equivalence import DEFAULT_MODELS, check_workload
+
+    workloads = args.workloads or list(ALL_WORKLOADS)
+    unknown = [w for w in workloads if w not in ALL_WORKLOADS]
+    if unknown:
+        print(f"repro diffcheck: unknown workload(s) {unknown}; "
+              f"available: {sorted(ALL_WORKLOADS)}", file=sys.stderr)
+        return 2
+    models = args.models or list(DEFAULT_MODELS)
+    failures = 0
+    for name in workloads:
+        report = check_workload(name, models=models, scale=args.scale)
+        print(report.render())
+        if not report.ok:
+            failures += 1
+    print(f"\ndiffcheck: {len(workloads) - failures}/{len(workloads)} "
+          f"workload(s) equivalent across {len(models) + 2} executions "
+          f"each")
+    return 1 if failures else 0
 
 
 def _cmd_compare(args) -> int:
@@ -92,7 +148,24 @@ def main(argv=None) -> int:
                      choices=sorted({**MODEL_FACTORIES,
                                      **ABLATION_FACTORIES}))
     sim.add_argument("--scale", type=float, default=0.25)
+    sim.add_argument("--check", action="store_true",
+                     help="enable runtime invariant checking")
     sim.set_defaults(fn=_cmd_simulate)
+
+    lint = sub.add_parser("lint")
+    lint.add_argument("workloads", nargs="*", metavar="workload",
+                      help="workloads to lint (default: all)")
+    lint.add_argument("--scale", type=float, default=0.05)
+    lint.set_defaults(fn=_cmd_lint)
+
+    diff = sub.add_parser("diffcheck")
+    diff.add_argument("workloads", nargs="*", metavar="workload",
+                      help="workloads to check (default: all)")
+    diff.add_argument("--models", nargs="+",
+                      choices=sorted({**MODEL_FACTORIES,
+                                      **ABLATION_FACTORIES}))
+    diff.add_argument("--scale", type=float, default=0.05)
+    diff.set_defaults(fn=_cmd_diffcheck)
 
     cmp_parser = sub.add_parser("compare")
     cmp_parser.add_argument("workload", choices=ALL_WORKLOADS)

@@ -1,0 +1,36 @@
+"""Static-analysis and verification layer.
+
+Three tools guard the reproduction's correctness contracts:
+
+* :mod:`~repro.analysis.verifier` — dataflow lint over sealed programs
+  (use-before-def, dead writes, unreachable code, label/branch integrity,
+  memory-image alignment, RESTART legality, issue-group legality);
+* :mod:`~repro.analysis.passes_check` — per-stage verification of the
+  compiler pass pipeline with def-use-chain diffing;
+* :mod:`~repro.analysis.equivalence` — differential execution of every
+  simulator with runtime invariant checking
+  (:mod:`~repro.analysis.invariants`).
+
+CLI entry points: ``python -m repro lint`` and ``python -m repro
+diffcheck``.
+"""
+
+from .diagnostics import (Diagnostic, InvariantError, Severity,
+                          VerifierError, errors, render_all)
+from .invariants import ArchReplay
+from .verifier import (VerifyOptions, assert_valid, verify_compiled,
+                       verify_program)
+
+__all__ = [
+    "ArchReplay",
+    "Diagnostic",
+    "InvariantError",
+    "Severity",
+    "VerifierError",
+    "VerifyOptions",
+    "assert_valid",
+    "errors",
+    "render_all",
+    "verify_compiled",
+    "verify_program",
+]

@@ -1,0 +1,131 @@
+"""Diagnostic records emitted by the static-analysis layer.
+
+Every lint rule owns a stable *diagnostic code* (e.g. ``UBD001``) so tests
+and tooling can assert on the specific rule that fired rather than on
+message text.  The full catalogue is documented in
+``docs/architecture.md`` ("Analysis & verification").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..isa.program import ProgramError
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` diagnostics make :func:`repro.analysis.verifier.assert_valid`
+    raise; ``WARNING`` diagnostics are reported but never fatal.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+# -- diagnostic codes -------------------------------------------------------
+#: Use of a register that no definition reaches on some path.
+UBD001 = "UBD001"
+#: Register written and then overwritten before any use on every path.
+DWR001 = "DWR001"
+#: Instruction unreachable from the program entry.
+UNR001 = "UNR001"
+#: Branch targets a label that is not defined.
+LBL001 = "LBL001"
+#: Branch targets a label that points past the end of the program.
+LBL002 = "LBL002"
+#: Label index outside ``[0, len(program)]``.
+LBL003 = "LBL003"
+#: Memory-image address not word aligned.
+MEM001 = "MEM001"
+#: Orphan RESTART: a reaching definition of its operand is not a load.
+RST001 = "RST001"
+#: RESTART with the wrong operand shape (needs 1 source, 0 destinations).
+RST002 = "RST002"
+#: RESTART whose producing load is not in a critical SCC.
+RST003 = "RST003"
+#: Issue group exceeds the port model's per-cycle capacity.
+GRP001 = "GRP001"
+#: Intra-group dependence violation (RAW/WAW or load-after-store).
+GRP002 = "GRP002"
+#: Stop-bit / group-ordinal / branch-boundary inconsistency.
+GRP003 = "GRP003"
+#: Compiler stage changed the def-use edge multiset beyond its contract.
+PCH001 = "PCH001"
+#: Compiler stage changed observable final architectural state.
+PCH002 = "PCH002"
+
+#: code -> default severity.
+SEVERITY_OF = {
+    UBD001: Severity.ERROR,
+    DWR001: Severity.WARNING,
+    UNR001: Severity.WARNING,
+    LBL001: Severity.ERROR,
+    LBL002: Severity.ERROR,
+    LBL003: Severity.ERROR,
+    MEM001: Severity.ERROR,
+    RST001: Severity.ERROR,
+    RST002: Severity.ERROR,
+    RST003: Severity.ERROR,
+    GRP001: Severity.ERROR,
+    GRP002: Severity.ERROR,
+    GRP003: Severity.ERROR,
+    PCH001: Severity.ERROR,
+    PCH002: Severity.ERROR,
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, anchored to an instruction when possible."""
+
+    code: str
+    message: str
+    index: Optional[int] = None   # instruction index, None = program level
+    severity: Optional[Severity] = None
+
+    def __post_init__(self):
+        if self.severity is None:
+            object.__setattr__(self, "severity",
+                               SEVERITY_OF.get(self.code, Severity.ERROR))
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def render(self, program_name: str = "<program>") -> str:
+        where = f":{self.index}" if self.index is not None else ""
+        return (f"{program_name}{where}: {self.severity.value}"
+                f"[{self.code}] {self.message}")
+
+
+class VerifierError(ProgramError):
+    """Raised when a program fails verification with ERROR diagnostics."""
+
+    def __init__(self, program_name: str,
+                 diagnostics: Iterable[Diagnostic]):
+        self.program_name = program_name
+        self.diagnostics: List[Diagnostic] = list(diagnostics)
+        lines = [d.render(program_name) for d in self.diagnostics]
+        super().__init__(
+            f"{program_name}: verification failed with "
+            f"{len(self.diagnostics)} diagnostic(s)\n" + "\n".join(lines)
+        )
+
+
+class InvariantError(RuntimeError):
+    """A runtime pipeline invariant was violated (modelling bug)."""
+
+
+def errors(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Only the ERROR-severity diagnostics."""
+    return [d for d in diagnostics if d.is_error]
+
+
+def render_all(diagnostics: Iterable[Diagnostic],
+               program_name: str = "<program>") -> str:
+    """Render a diagnostic list one finding per line."""
+    return "\n".join(d.render(program_name) for d in diagnostics)

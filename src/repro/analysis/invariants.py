@@ -1,0 +1,121 @@
+"""Runtime invariant checking for the timing cores.
+
+The timing models are trace driven: they replay a golden
+:class:`~repro.isa.trace.Trace` and never compute values themselves, so a
+modelling bug cannot corrupt *data* — but it can silently commit the wrong
+*stream* (skip an entry, commit one twice, commit out of order, or merge a
+stale result-store value after a restart).  :class:`ArchReplay` catches
+exactly that class of bug: it re-executes the committed instruction stream
+on an independent :class:`~repro.isa.functional.FunctionalSimulator` and
+cross-checks every commit against the golden trace entry the core claims
+to be retiring.
+
+Cores construct an ``ArchReplay`` when built with ``check=True`` (the
+``--check`` CLI flag) and feed it through ``BaseCore.commit_entry``.  Any
+violation raises :class:`~repro.analysis.diagnostics.InvariantError`
+immediately, pointing at the first bad commit rather than a corrupted
+end-of-run statistic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..isa.functional import FunctionalSimulator
+from ..isa.trace import Trace, TraceEntry
+from .diagnostics import InvariantError
+
+
+class ArchReplay:
+    """Cross-checks a core's commit stream against independent re-execution.
+
+    Invariants enforced per commit:
+
+    * **Exactly-once, in-order retirement** — the committed entry's ``seq``
+      must equal the number of instructions retired so far.
+    * **Control-flow integrity** — the committed instruction must sit at
+      the replay simulator's current pc (the architectural path cannot
+      diverge from sequential semantics).
+    * **Dataflow integrity** — the replayed instruction must produce the
+      same effective address, memory value, branch outcome, nullification
+      and destination set that the golden trace recorded.
+
+    After the core finishes, :meth:`finish` checks that *every* trace entry
+    was committed and that the replay's final registers and memory match
+    the golden trace's final architectural state.
+    """
+
+    def __init__(self, trace: Trace, model: str = "core"):
+        self.trace = trace
+        self.model = model
+        self.sim = FunctionalSimulator(
+            trace.program, max_instructions=len(trace) + 1)
+        self.retired = 0
+
+    def _fail(self, message: str, entry: Optional[TraceEntry] = None) -> None:
+        where = f" at #{entry.seq} {entry.inst.render()}" if entry else ""
+        raise InvariantError(
+            f"[{self.model}/{self.trace.program.name}]{where}: {message}")
+
+    def commit(self, entry: TraceEntry) -> None:
+        """Validate one committed trace entry and replay it."""
+        if entry.seq != self.retired:
+            self._fail(
+                f"out-of-order commit: expected seq {self.retired}, "
+                f"core committed seq {entry.seq}", entry)
+        if self.sim.pc != entry.inst.index:
+            self._fail(
+                f"control-flow divergence: architectural pc is "
+                f"{self.sim.pc}, core committed instruction at "
+                f"{entry.inst.index}", entry)
+        replayed = self.sim.step(entry.seq)
+        if replayed.executed != entry.executed:
+            self._fail(
+                f"nullification mismatch: replay executed="
+                f"{replayed.executed}, trace executed={entry.executed}",
+                entry)
+        if replayed.dests != entry.dests:
+            self._fail(
+                f"destination mismatch: replay wrote {replayed.dests}, "
+                f"trace recorded {entry.dests}", entry)
+        if replayed.addr != entry.addr:
+            self._fail(
+                f"address mismatch: replay addr={replayed.addr}, "
+                f"trace addr={entry.addr}", entry)
+        if replayed.value != entry.value:
+            self._fail(
+                f"value mismatch: replay value={replayed.value!r}, "
+                f"trace value={entry.value!r}", entry)
+        if replayed.taken != entry.taken:
+            self._fail(
+                f"branch-outcome mismatch: replay taken={replayed.taken}, "
+                f"trace taken={entry.taken}", entry)
+        self.retired += 1
+
+    def finish(self) -> None:
+        """Validate completeness and final architectural state."""
+        if self.retired != len(self.trace):
+            self._fail(
+                f"incomplete retirement: core committed {self.retired} of "
+                f"{len(self.trace)} trace entries")
+        if self.sim.registers != self.trace.final_registers:
+            diff = _dict_diff(self.sim.registers,
+                              self.trace.final_registers)
+            self._fail(f"final register state diverges: {diff}")
+        if self.sim.memory != self.trace.final_memory:
+            diff = _dict_diff(self.sim.memory, self.trace.final_memory)
+            self._fail(f"final memory state diverges: {diff}")
+
+
+def _dict_diff(got, want, limit: int = 5) -> str:
+    """Render the first few key-level differences between two dicts."""
+    keys = sorted(set(got) | set(want))
+    diffs = []
+    for k in keys:
+        g, w = got.get(k), want.get(k)
+        if g != w:
+            diffs.append(f"{k}: got {g!r}, want {w!r}")
+            if len(diffs) >= limit:
+                diffs.append("...")
+                break
+    return "; ".join(diffs) if diffs else "<no key-level difference>"

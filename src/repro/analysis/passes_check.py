@@ -1,0 +1,241 @@
+"""Checked compilation: verify the pass pipeline stage by stage.
+
+:func:`checked_compile` mirrors :func:`repro.compiler.passes.compile_program`
+but runs the program verifier after every stage and diffs the def-use
+chains across each semantics-preserving stage, so a scheduler or
+RESTART-insertion bug surfaces at the stage that introduced it rather than
+as a wrong simulation result three layers later.
+
+Stage contracts:
+
+* ``if_convert`` rewrites control flow into predication, so it may change
+  the def-use graph arbitrarily; it is only required to leave a verifiable
+  program behind (and, under ``execute_check``, an observationally
+  equivalent one).
+* ``list_schedule`` reorders instructions within basic blocks; the def-use
+  edge *multiset* (keyed by instruction signature) must be preserved
+  exactly.
+* ``insert_restarts`` may only *add* edges from loads to the RESTART
+  directives consuming their destinations; every pre-existing edge must
+  survive untouched.
+* ``form_issue_groups`` only annotates stop bits and group ordinals; the
+  def-use graph must be identical, and the result must additionally pass
+  issue-group legality checks (:func:`repro.analysis.verifier
+  .verify_compiled`).
+
+Optionally (``execute_check=True``) each stage's output is executed
+functionally and its final architectural state compared against the
+input program's — the strongest stage-level equivalence oracle we have.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..compiler.dataflow import build_dataflow_graph
+from ..compiler.ifconvert import if_convert
+from ..compiler.passes import CompileOptions
+from ..compiler.restart import insert_restarts
+from ..compiler.scheduling import form_issue_groups, list_schedule
+from ..isa.opcodes import Opcode
+from ..isa.program import Program
+from .diagnostics import Diagnostic, VerifierError, errors
+from .verifier import VerifyOptions, verify_compiled, verify_program
+
+#: Stable identity for an instruction across reordering passes.  Index and
+#: stop/group annotations are excluded on purpose: scheduling moves
+#: instructions and grouping annotates them, but neither may change what
+#: an instruction *is*.
+Signature = Tuple[str, Tuple[int, ...], Tuple[int, ...], Optional[int],
+                  int, Optional[str]]
+
+
+class PassCheckError(VerifierError):
+    """A compiler stage broke a verification contract."""
+
+    def __init__(self, stage: str, program_name: str, diagnostics):
+        self.stage = stage
+        super().__init__(f"{program_name} (after {stage})", diagnostics)
+
+
+@dataclass
+class StageReport:
+    """Verification outcome for one pass-pipeline stage."""
+
+    stage: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    new_edges: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not errors(self.diagnostics)
+
+
+def _signature(inst) -> Signature:
+    return (inst.opcode.name, inst.dests, inst.srcs, inst.imm, inst.pred,
+            inst.target)
+
+
+def defuse_edges(program: Program) -> Counter:
+    """The def-use edge multiset, keyed by (producer, consumer) signature.
+
+    Signatures identify instructions structurally, so two programs with the
+    same instructions in a different order (the list-scheduler contract)
+    compare equal.
+    """
+    graph = build_dataflow_graph(program)
+    edges: Counter = Counter()
+    for producer, consumers in graph.succs.items():
+        psig = _signature(program[producer])
+        for consumer in consumers:
+            edges[(psig, _signature(program[consumer]))] += 1
+    return edges
+
+
+def _diff_edges(before: Counter, after: Counter):
+    """(lost, gained) def-use edges between two stages."""
+    lost = before - after
+    gained = after - before
+    return lost, gained
+
+
+def _render_edge(edge) -> str:
+    (p_op, p_dests, _ps, _pi, _pp, _pt), (c_op, _cd, c_srcs, *_rest) = edge
+    return f"{p_op}{list(p_dests)} -> {c_op}{list(c_srcs)}"
+
+
+def _is_restart_edge(edge) -> bool:
+    producer, consumer = edge
+    return (consumer[0] == Opcode.RESTART.name
+            and producer[0] in (Opcode.LD.name, Opcode.FLD.name))
+
+
+def _final_state(program: Program, max_instructions: int):
+    from ..isa.functional import FunctionalSimulator
+    sim = FunctionalSimulator(program, max_instructions=max_instructions)
+    trace = sim.run(truncate_ok=True)
+    return trace.final_registers, trace.final_memory, trace.truncated
+
+
+def checked_compile(
+    program: Program,
+    options: CompileOptions = CompileOptions(),
+    execute_check: bool = False,
+    max_instructions: int = 200_000,
+) -> Tuple[Program, List[StageReport]]:
+    """Run the pass pipeline with per-stage verification.
+
+    Returns the compiled program and one :class:`StageReport` per stage
+    run.  Raises :class:`PassCheckError` as soon as any stage emits an
+    ERROR diagnostic or violates its def-use contract.
+    """
+    verify_opts = VerifyOptions(ports=options.ports,
+                                dominance_ratio=options.dominance_ratio)
+    reports: List[StageReport] = []
+
+    def check_stage(stage: str, prog: Program, *, compiled: bool,
+                    extra: Optional[List[Diagnostic]] = None) -> None:
+        verify = verify_compiled if compiled else verify_program
+        diags = list(verify(prog, verify_opts))
+        if extra:
+            diags.extend(extra)
+        report = StageReport(stage, diags)
+        reports.append(report)
+        if not report.ok:
+            raise PassCheckError(stage, program.name, errors(diags))
+
+    def contract_violations(stage: str, before: Counter, after: Counter,
+                            allow_restart_edges: bool) -> List[Diagnostic]:
+        lost, gained = _diff_edges(before, after)
+        extra: List[Diagnostic] = []
+        for edge, n in lost.items():
+            extra.append(Diagnostic(
+                "PCH001",
+                f"{stage} dropped def-use edge "
+                f"{_render_edge(edge)} (x{n})"))
+        for edge, n in gained.items():
+            if allow_restart_edges and _is_restart_edge(edge):
+                continue
+            extra.append(Diagnostic(
+                "PCH001",
+                f"{stage} introduced def-use edge "
+                f"{_render_edge(edge)} (x{n})"))
+        return extra
+
+    def state_violation(stage: str, prog: Program,
+                        allow_new_regs: bool = False) -> List[Diagnostic]:
+        if not execute_check:
+            return []
+        regs, mem, trunc = _final_state(prog, max_instructions)
+        if trunc or base_truncated:
+            return []  # truncated runs are not comparable
+        extra: List[Diagnostic] = []
+        if allow_new_regs:
+            # if-conversion introduces fresh predicate registers; every
+            # register the source program defines must still match.
+            regs_ok = all(regs.get(k) == v for k, v in base_regs.items())
+        else:
+            regs_ok = regs == base_regs
+        if not regs_ok:
+            extra.append(Diagnostic(
+                "PCH002", f"{stage} changed final register state"))
+        if mem != base_mem:
+            extra.append(Diagnostic(
+                "PCH002", f"{stage} changed final memory state"))
+        return extra
+
+    base_regs = base_mem = None
+    base_truncated = False
+    if execute_check:
+        base_regs, base_mem, base_truncated = _final_state(
+            program, max_instructions)
+
+    check_stage("input", program, compiled=False)
+    result = program
+
+    if options.if_conversion:
+        result = if_convert(result)
+        # if-conversion restructures dataflow: no edge diff, but the
+        # result must still verify (and preserve observable state modulo
+        # the fresh predicate registers it introduces).
+        check_stage("if_convert", result, compiled=False,
+                    extra=state_violation("if_convert", result,
+                                          allow_new_regs=True))
+        if execute_check:
+            # Later stages must preserve the if-converted state, which
+            # includes the new predicate registers.
+            base_regs, base_mem, base_truncated = _final_state(
+                result, max_instructions)
+
+    if options.reorder:
+        before = defuse_edges(result)
+        result = list_schedule(result, options.ports)
+        extra = contract_violations(
+            "list_schedule", before, defuse_edges(result),
+            allow_restart_edges=False)
+        extra += state_violation("list_schedule", result)
+        check_stage("list_schedule", result, compiled=False, extra=extra)
+
+    if options.restarts:
+        before = defuse_edges(result)
+        result = insert_restarts(result, options.dominance_ratio)
+        after = defuse_edges(result)
+        extra = contract_violations(
+            "insert_restarts", before, after, allow_restart_edges=True)
+        restart_edges = sum(n for e, n in (after - before).items()
+                            if _is_restart_edge(e))
+        extra += state_violation("insert_restarts", result)
+        check_stage("insert_restarts", result, compiled=False, extra=extra)
+        reports[-1].new_edges = restart_edges
+
+    before = defuse_edges(result)
+    result = form_issue_groups(result, options.ports)
+    extra = contract_violations(
+        "form_issue_groups", before, defuse_edges(result),
+        allow_restart_edges=False)
+    extra += state_violation("form_issue_groups", result)
+    check_stage("form_issue_groups", result, compiled=True, extra=extra)
+
+    return result, reports

@@ -25,8 +25,9 @@ def insert_restarts(program: Program, dominance_ratio: float = 2.0
 
     Labels are rebuilt so that branches land where they used to (a RESTART
     inserted at a branch target stays un-targeted — it belongs to the load
-    above it).  Idempotent: loads already followed by a RESTART are left
-    alone.
+    above it).  Idempotent: a load whose destination already feeds a
+    RESTART is left alone, even when a later scheduling pass has moved
+    that RESTART away from the load.
     """
     graph = build_dataflow_graph(program)
     critical = find_critical_sccs(program, graph,
@@ -39,8 +40,8 @@ def insert_restarts(program: Program, dominance_ratio: float = 2.0
 
     insert_after = set()
     for idx in load_indices:
-        follower = (program[idx + 1] if idx + 1 < len(program) else None)
-        if follower is not None and follower.opcode is Opcode.RESTART:
+        consumers = graph.succs.get(idx, ())
+        if any(program[c].opcode is Opcode.RESTART for c in consumers):
             continue
         insert_after.add(idx)
     if not insert_after:

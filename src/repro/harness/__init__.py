@@ -2,7 +2,8 @@
 
 from .charts import fig6_chart, mode_strip, speedup_bars, stacked_bar
 from .experiment import (ABLATION_FACTORIES, MODEL_FACTORIES, Matrix,
-                         TraceCache, geomean, run_matrix, run_model)
+                         TraceCache, geomean, make_model, run_matrix,
+                         run_model)
 from .figures import (FigureResult, figure6, figure7, figure8,
                       realistic_ooo_comparison, runahead_comparison, table1)
 from .report import (breakdown_row, fig6_table, speedup_table,
@@ -12,6 +13,7 @@ from .sampling import SamplingResult, sampled_simulation
 __all__ = [
     "ABLATION_FACTORIES", "FigureResult", "MODEL_FACTORIES", "Matrix",
     "TraceCache", "breakdown_row", "fig6_table", "figure6", "figure7",
+    "make_model",
     "figure8", "geomean", "realistic_ooo_comparison", "run_matrix",
     "run_model", "runahead_comparison", "speedup_table", "stall_reduction",
     "summarize_headline", "table1", "fig6_chart", "mode_strip",

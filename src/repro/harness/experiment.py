@@ -31,16 +31,16 @@ MODEL_FACTORIES: Dict[str, Callable] = {
 
 #: Multipass ablations (Fig. 8) and extensions.
 ABLATION_FACTORIES: Dict[str, Callable] = {
-    "multipass-noregroup": lambda trace, config: MultipassCore(
-        trace, config, enable_regroup=False),
-    "multipass-norestart": lambda trace, config: MultipassCore(
-        trace, config, enable_restart=False),
+    "multipass-noregroup": lambda trace, config, **kw: MultipassCore(
+        trace, config, enable_regroup=False, **kw),
+    "multipass-norestart": lambda trace, config, **kw: MultipassCore(
+        trace, config, enable_restart=False, **kw),
     # Paper footnote 1: hardware-detected advance restart, no compiler
     # RESTART directives consumed.
-    "multipass-hwrestart": lambda trace, config: MultipassCore(
-        trace, config, enable_restart=False, hardware_restart=True),
+    "multipass-hwrestart": lambda trace, config, **kw: MultipassCore(
+        trace, config, enable_restart=False, hardware_restart=True, **kw),
     # The MICRO-36 two-pass predecessor: persistence, no restart.
-    "twopass": lambda trace, config: TwoPassCore(trace, config),
+    "twopass": lambda trace, config, **kw: TwoPassCore(trace, config, **kw),
 }
 
 
@@ -64,15 +64,22 @@ class TraceCache:
         return self._traces[workload]
 
 
-def run_model(model: str, trace: Trace,
-              config: Optional[MachineConfig] = None) -> SimStats:
-    """Run one named model (including ablations) over a prepared trace."""
+def make_model(model: str, trace: Trace,
+               config: Optional[MachineConfig] = None,
+               check: bool = False):
+    """Instantiate one named model (including ablations) over a trace."""
     factories = {**MODEL_FACTORIES, **ABLATION_FACTORIES}
     if model not in factories:
         raise KeyError(f"unknown model {model!r}; "
                        f"available: {sorted(factories)}")
-    core = factories[model](trace, config or MachineConfig())
-    return core.run()
+    return factories[model](trace, config or MachineConfig(), check=check)
+
+
+def run_model(model: str, trace: Trace,
+              config: Optional[MachineConfig] = None,
+              check: bool = False) -> SimStats:
+    """Run one named model (including ablations) over a prepared trace."""
+    return make_model(model, trace, config, check=check).run()
 
 
 @dataclass

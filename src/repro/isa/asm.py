@@ -118,19 +118,26 @@ def parse_asm(text: str, name: str = "asm",
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
+        def define_label(label: str) -> None:
+            if label in labels:
+                raise AsmError(
+                    f"line {lineno}: duplicate label {label!r} "
+                    f"(first defined at index {labels[label]})")
+            labels[label] = len(instructions)
+
         while True:
             match = _LABEL_RE.match(line.split()[0]) if line else None
             if match is None:
                 # A label may share a line with an instruction.
                 head, _, tail = line.partition(":")
                 if tail and re.fullmatch(r"[A-Za-z_][\w.]*", head):
-                    labels[head] = len(instructions)
+                    define_label(head)
                     line = tail.strip()
                     if not line:
                         break
                     continue
                 break
-            labels[match.group(1)] = len(instructions)
+            define_label(match.group(1))
             line = line[len(match.group(0)):].strip()
             if not line:
                 break

@@ -103,6 +103,19 @@ class FunctionalSimulator:
         return Trace(program, entries, dict(self.registers),
                      dict(self.memory), truncated=truncated)
 
+    def step(self, seq: int) -> TraceEntry:
+        """Execute the instruction at the current pc and return its entry.
+
+        Single-step interface used by the runtime invariant checker
+        (:class:`repro.analysis.invariants.ArchReplay`) to re-execute the
+        committed instruction stream independently of the golden trace.
+        ``HALT`` yields its trace entry without advancing the pc.
+        """
+        inst = self.program[self.pc]
+        if inst.opcode is Opcode.HALT:
+            return TraceEntry(inst, seq, (), ())
+        return self._step(inst, seq)
+
     def _step(self, inst: Instruction, seq: int) -> TraceEntry:
         """Execute one instruction and advance the pc."""
         op = inst.opcode

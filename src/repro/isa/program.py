@@ -9,7 +9,7 @@ words, byte addresses that must be 4-aligned).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from .instruction import Instruction
 from .opcodes import Opcode
@@ -28,7 +28,9 @@ class Program:
     Attributes:
         name: human-readable program/workload name.
         instructions: the instruction sequence.
-        labels: label name -> instruction index.
+        labels: label name -> instruction index.  May also be given as an
+            iterable of ``(name, index)`` pairs, in which case duplicate
+            definitions of a name are rejected at seal time.
         memory_image: initial data memory, word address -> value.  Values
             may be Python ints (integer words) or floats (fp words).
         metadata: free-form notes (workload knobs, footprint size, ...).
@@ -36,11 +38,23 @@ class Program:
 
     name: str
     instructions: List[Instruction]
-    labels: Dict[str, int]
+    labels: Union[Dict[str, int], Iterable[Tuple[str, int]]]
     memory_image: Dict[int, object] = field(default_factory=dict)
     metadata: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if not isinstance(self.labels, dict):
+            # Pair form: reject duplicate definitions of a label name
+            # (a dict silently keeps only the last one).
+            labels: Dict[str, int] = {}
+            for label, idx in self.labels:
+                if label in labels:
+                    raise ProgramError(
+                        f"duplicate label {label!r}: defined at index "
+                        f"{labels[label]} and again at index {idx}"
+                    )
+                labels[label] = idx
+            self.labels = labels
         for i, inst in enumerate(self.instructions):
             inst.index = i
         self._validate()
@@ -48,13 +62,22 @@ class Program:
     def _validate(self) -> None:
         n = len(self.instructions)
         for label, idx in self.labels.items():
-            if not 0 <= idx <= n:
+            if not isinstance(idx, int) or not 0 <= idx <= n:
                 raise ProgramError(f"label {label!r} out of range: {idx}")
         for inst in self.instructions:
-            if inst.is_branch and inst.target not in self.labels:
+            if not inst.is_branch:
+                continue
+            if inst.target not in self.labels:
                 raise ProgramError(
                     f"branch at {inst.index} targets unknown label "
                     f"{inst.target!r}"
+                )
+            target_idx = self.labels[inst.target]
+            if target_idx >= n:
+                raise ProgramError(
+                    f"branch at {inst.index} targets label "
+                    f"{inst.target!r} which points past the end of the "
+                    f"program (index {target_idx} of {n} instructions)"
                 )
         for addr in self.memory_image:
             if addr % WORD_SIZE != 0:

@@ -57,9 +57,11 @@ class MultipassCore(BaseCore):
                  hardware_restart: bool = False,
                  hw_restart_window: int = 16,
                  hw_restart_fraction: float = 0.125,
-                 record_modes: bool = False):
+                 record_modes: bool = False,
+                 check: bool = False):
         config = config or MachineConfig()
-        super().__init__(trace, config, config.multipass_queue_size)
+        super().__init__(trace, config, config.multipass_queue_size,
+                         check=check)
         self.enable_regroup = enable_regroup
         self.enable_restart = enable_restart
         self.persist_results = persist_results
@@ -86,7 +88,7 @@ class MultipassCore(BaseCore):
         self.record_modes = record_modes
         self.mode_log = []
 
-        self.rs = ResultStore(config.multipass_queue_size)
+        self.rs = ResultStore(config.multipass_queue_size, checked=check)
         self.asc = AdvanceStoreCache(config.asc_entries, config.asc_assoc)
         # Committed memory image, used to observe the (possibly stale)
         # value a data-speculative advance load would actually read.
@@ -110,6 +112,47 @@ class MultipassCore(BaseCore):
         self.pass_dead = False              # advance went down a wrong path
         self.adv_stall_until = 0
         self.arch_stall_until = 0
+
+    # ------------------------------------------------------------------
+    # runtime invariants (the --check flag)
+    # ------------------------------------------------------------------
+
+    def _invariant(self, cond: bool, message: str,
+                   entry: Optional[TraceEntry] = None) -> None:
+        """Raise ``InvariantError`` when a checked invariant fails."""
+        if cond:
+            return
+        from ..analysis.diagnostics import InvariantError
+        where = (f" at #{entry.seq} {entry.inst.render()}"
+                 if entry is not None else "")
+        raise InvariantError(
+            f"[{self.model_name}/{self.trace.program.name}]{where}: "
+            f"{message}")
+
+    def _check_merge(self, entry: TraceEntry, rs_entry: RSEntry,
+                     now: int) -> None:
+        """Rally merges must consume exactly the preserved valid result."""
+        self._invariant(
+            rs_entry.seq == entry.seq,
+            f"RS entry seq {rs_entry.seq} merged into committing seq "
+            f"{entry.seq}", entry)
+        self._invariant(
+            rs_entry.done(now),
+            f"merged RS entry not done until cycle {rs_entry.ready} "
+            f"(now={now}): stale in-flight result served", entry)
+        self._invariant(
+            not rs_entry.sbit,
+            "data-speculative RS entry merged without verification", entry)
+        if entry.is_load:
+            self._invariant(
+                rs_entry.value == entry.value,
+                f"merged load value {rs_entry.value!r} differs from "
+                f"architectural value {entry.value!r}", entry)
+        if rs_entry.is_store:
+            self._invariant(
+                rs_entry.addr == entry.addr,
+                f"merged store address {rs_entry.addr!r} differs from "
+                f"architectural address {entry.addr!r}", entry)
 
     # ------------------------------------------------------------------
     # mode transitions
@@ -557,6 +600,7 @@ class MultipassCore(BaseCore):
             tracker.issue(fu)
             self.writeback(entry, now, latency, l1_miss)
             self.stats.instructions += 1
+            self.commit_entry(entry)
             issued += 1
             self.arch_ptr += 1
             if entry.is_branch:
@@ -564,6 +608,11 @@ class MultipassCore(BaseCore):
                     self.stats.counters["mispredicts"] += 1
                     self.rs.clear_from(seq + 1)
                     self.max_peek = min(self.max_peek, seq + 1)
+                    if self.check:
+                        self._invariant(
+                            self.rs.max_seq() <= seq,
+                            "RS retains entries younger than a mispredict "
+                            "flush", entry)
                     break
             if inst.stop and not dynamic_groups:
                 break
@@ -572,9 +621,12 @@ class MultipassCore(BaseCore):
     def _merge_committed(self, entry: TraceEntry, rs_entry: RSEntry,
                          now: int) -> None:
         """Commit a preserved result without re-execution."""
+        if self.check:
+            self._check_merge(entry, rs_entry, now)
         self.rs.pop(entry.seq)
         self.stats.counters["rally_merges"] += 1
         self.stats.instructions += 1
+        self.commit_entry(entry)
         for dest in entry.dests:
             self.reg_ready[dest] = now
             self.load_miss_pending.pop(dest, None)
@@ -590,21 +642,36 @@ class MultipassCore(BaseCore):
     def _verify_speculative_load(self, entry: TraceEntry,
                                  rs_entry: RSEntry, now: int) -> bool:
         """Re-perform a data-speculative load; flush on value mismatch."""
+        if self.check:
+            self._invariant(
+                rs_entry.sbit,
+                "speculative-load verification of a non-S-bit RS entry",
+                entry)
+            self._invariant(
+                rs_entry.seq == entry.seq,
+                f"RS entry seq {rs_entry.seq} served for committing seq "
+                f"{entry.seq}", entry)
         self.rs.pop(entry.seq)
         self.stats.counters["sbit_verifications"] += 1
         self.stats.counters["smaq_reads"] += 1
         result = self.hierarchy.access(rs_entry.addr, now)
         if rs_entry.value == entry.value:
             self.stats.instructions += 1
+            self.commit_entry(entry)
             self.writeback(entry, now, result.latency, result.l1_miss)
             return False
         # Mismatch: squash everything younger and re-execute it.
         self.stats.counters["value_flushes"] += 1
         self.stats.instructions += 1
+        self.commit_entry(entry)
         self.writeback(entry, now, result.latency, result.l1_miss)
         self.rs.clear_from(entry.seq + 1)
         self.max_peek = min(self.max_peek, entry.seq + 1)
         self.arch_stall_until = now + self.config.flush_penalty
+        if self.check:
+            self._invariant(
+                self.rs.max_seq() <= entry.seq,
+                "RS retains entries younger than a value flush", entry)
         return True
 
     # ------------------------------------------------------------------
@@ -633,6 +700,11 @@ class MultipassCore(BaseCore):
 
             if self.mode is Mode.ADVANCE:
                 new_execs = self._issue_advance_cycle(now)
+                if self.check:
+                    self._invariant(
+                        self.adv_ptr >= self.arch_ptr,
+                        f"advance pointer {self.adv_ptr} fell behind "
+                        f"architectural pointer {self.arch_ptr}")
                 self.max_peek = max(self.max_peek, self.adv_ptr)
                 if new_execs:
                     self.stats.charge(StallCategory.EXECUTION)

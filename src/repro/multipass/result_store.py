@@ -44,10 +44,16 @@ class RSEntry:
 
 
 class ResultStore:
-    """Sequence-indexed store of preserved advance results."""
+    """Sequence-indexed store of preserved advance results.
 
-    def __init__(self, capacity: int = 256):
+    Under ``checked=True`` (the ``--check`` flag) structural invariants
+    are enforced on every write: entries are keyed by their own sequence
+    number and the store never exceeds its instruction-queue capacity.
+    """
+
+    def __init__(self, capacity: int = 256, checked: bool = False):
         self.capacity = capacity
+        self.checked = checked
         self._entries: Dict[int, RSEntry] = {}
         self.writes = 0
         self.reads = 0
@@ -63,6 +69,11 @@ class ResultStore:
         """Record a preserved result (overwrites a previous pass's entry)."""
         self.writes += 1
         self._entries[entry.seq] = entry
+        if self.checked and len(self._entries) > self.capacity:
+            from ..analysis.diagnostics import InvariantError
+            raise InvariantError(
+                f"result store overflowed its capacity of {self.capacity} "
+                f"entries (seq {entry.seq})")
 
     def get(self, seq: int) -> Optional[RSEntry]:
         entry = self._entries.get(seq)

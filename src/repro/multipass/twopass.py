@@ -32,10 +32,11 @@ class TwoPassCore(MultipassCore):
     model_name = "twopass"
 
     def __init__(self, trace: Trace,
-                 config: Optional[MachineConfig] = None):
+                 config: Optional[MachineConfig] = None,
+                 check: bool = False):
         super().__init__(trace, config, enable_regroup=True,
                          enable_restart=False, persist_results=True,
-                         hardware_restart=False)
+                         hardware_restart=False, check=check)
 
 
 def simulate_twopass(trace: Trace,

@@ -65,7 +65,7 @@ class OutOfOrderCore(BaseCore):
 
     def __init__(self, trace: Trace, config: Optional[MachineConfig] = None,
                  decentralized_queues: Optional[int] = None,
-                 ideal: bool = True):
+                 ideal: bool = True, check: bool = False):
         config = config or MachineConfig()
         # The deeper OOO pipe pays its extra stages on every refill.
         config = replace(
@@ -73,7 +73,7 @@ class OutOfOrderCore(BaseCore):
             mispredict_penalty=(config.mispredict_penalty
                                 + config.ooo_extra_stages),
         )
-        super().__init__(trace, config, config.ooo_rob)
+        super().__init__(trace, config, config.ooo_rob, check=check)
         self.decentralized_queues = decentralized_queues
         #: The Section 5.1 idealizations: the ideal model performs
         #: scheduling and register-file read in the REG stage (no
@@ -242,6 +242,7 @@ class OutOfOrderCore(BaseCore):
                 del rob[0]
                 commit_ptr = head.seq + 1
                 self.stats.instructions += 1
+                self.commit_entry(head.entry)
                 committed += 1
 
             # ---- attribution -------------------------------------------
@@ -306,8 +307,10 @@ class IdealOOOCore(OutOfOrderCore):
     model_name = "ooo"
 
     def __init__(self, trace: Trace,
-                 config: Optional[MachineConfig] = None):
-        super().__init__(trace, config, decentralized_queues=None)
+                 config: Optional[MachineConfig] = None,
+                 check: bool = False):
+        super().__init__(trace, config, decentralized_queues=None,
+                         check=check)
 
 
 class RealisticOOOCore(OutOfOrderCore):
@@ -317,9 +320,10 @@ class RealisticOOOCore(OutOfOrderCore):
 
     def __init__(self, trace: Trace,
                  config: Optional[MachineConfig] = None,
-                 queue_entries: int = 16):
+                 queue_entries: int = 16, check: bool = False):
         super().__init__(trace, config,
-                         decentralized_queues=queue_entries, ideal=False)
+                         decentralized_queues=queue_entries, ideal=False,
+                         check=check)
 
 
 def simulate_ooo(trace: Trace, config: Optional[MachineConfig] = None

@@ -27,7 +27,7 @@ class BaseCore:
     model_name = "base"
 
     def __init__(self, trace: Trace, config: MachineConfig,
-                 buffer_size: int):
+                 buffer_size: int, check: bool = False):
         self.trace = trace
         self.config = config
         self.buffer_size = buffer_size
@@ -43,6 +43,13 @@ class BaseCore:
         # (consumers stalled on these are charged to the *load* category,
         # and the multipass core suppresses rather than waits for them).
         self.load_miss_pending: Dict[int, int] = {}
+        # Runtime invariant checking (the --check flag): every commit is
+        # cross-checked against independent re-execution.
+        self.check = check
+        self.replay = None
+        if check:
+            from ..analysis.invariants import ArchReplay
+            self.replay = ArchReplay(trace, model=self.model_name)
 
     # -- operand checking ----------------------------------------------------
 
@@ -90,10 +97,24 @@ class BaseCore:
             else:
                 self.load_miss_pending.pop(dest, None)
 
+    # -- retirement ----------------------------------------------------------
+
+    def commit_entry(self, entry: TraceEntry) -> None:
+        """Hook called by every core at the moment an entry retires.
+
+        Under ``check=True`` the entry is validated against independent
+        functional re-execution (exactly-once, in-order, on the
+        architectural path); otherwise this is a no-op.
+        """
+        if self.replay is not None:
+            self.replay.commit(entry)
+
     # -- wrap-up -------------------------------------------------------------
 
     def finalize(self) -> SimStats:
         self.stats.memory = self.hierarchy.stats()
         self.stats.branch_accuracy = self.predictor.accuracy
         self.stats.counters["front_end_redirects"] = self.frontend.redirects
+        if self.replay is not None:
+            self.replay.finish()
         return self.stats

@@ -23,9 +23,11 @@ class InOrderCore(BaseCore):
 
     model_name = "inorder"
 
-    def __init__(self, trace: Trace, config: Optional[MachineConfig] = None):
+    def __init__(self, trace: Trace, config: Optional[MachineConfig] = None,
+                 check: bool = False):
         config = config or MachineConfig()
-        super().__init__(trace, config, config.inorder_buffer_size)
+        super().__init__(trace, config, config.inorder_buffer_size,
+                         check=check)
 
     def run(self, max_cycles: int = 500_000_000) -> SimStats:
         trace = self.trace
@@ -90,6 +92,7 @@ class InOrderCore(BaseCore):
                 tracker.issue(fu)
                 self.writeback(entry, now, latency, l1_miss)
                 self.stats.instructions += 1
+                self.commit_entry(entry)
                 issued += 1
                 ptr += 1
                 if entry.is_branch:

@@ -34,9 +34,11 @@ class RunaheadCore(MultipassCore):
     model_name = "runahead"
 
     def __init__(self, trace: Trace,
-                 config: Optional[MachineConfig] = None):
+                 config: Optional[MachineConfig] = None,
+                 check: bool = False):
         super().__init__(trace, config, enable_regroup=False,
-                         enable_restart=False, persist_results=False)
+                         enable_restart=False, persist_results=False,
+                         check=check)
 
     def _enter_rally(self, now: int) -> None:
         """Exiting runahead restores the checkpointed state and refetches

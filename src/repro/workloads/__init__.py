@@ -18,13 +18,23 @@ CFP = ("ammp", "art", "equake", "mesa")
 ALL_WORKLOADS = CINT + CFP
 
 
-def build_workload(name: str, scale: float = 1.0):
-    """Build the named workload program at the given scale."""
+def build_workload(name: str, scale: float = 1.0, verify: bool = True):
+    """Build the named workload program at the given scale.
+
+    Every built program is verified at seal time (``verify=False`` opts
+    out): a workload generator that produces an illegal program fails
+    fast here with a :class:`~repro.analysis.diagnostics.VerifierError`
+    instead of corrupting a simulation downstream.
+    """
     specs = registry()
     if name not in specs:
         raise KeyError(
             f"unknown workload {name!r}; available: {sorted(specs)}")
-    return specs[name](scale)
+    program = specs[name](scale)
+    if verify:
+        from ..analysis.verifier import assert_valid
+        assert_valid(program)
+    return program
 
 
 __all__ = [

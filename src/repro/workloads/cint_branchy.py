@@ -45,6 +45,8 @@ def build_twolf(scale: float = 1.0) -> Program:
     b.movi(accepted, 0)
     b.movi(cost, 0)
     b.movi(mult, 1103515245)
+    b.movi(w1, 0)
+    b.movi(w2, 0)
 
     b.label("anneal")
     # Two LCG draws pick the candidate swap pair (serial multiply chain).
@@ -137,6 +139,8 @@ def build_vpr(scale: float = 1.0) -> Program:
     b.movi(count, iters)
     b.movi(best, 0x7FFFFFFF)
     b.movi(total, 0)
+    b.movi(w1, 0)
+    b.movi(w3, 0)
 
     b.label("route")
     b.ld(node_idx, edge_ptr, 0)          # sequential fanout index

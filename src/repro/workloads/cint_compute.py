@@ -148,6 +148,8 @@ def build_gzip(scale: float = 1.0) -> Program:
     b.movi(heads_base, heads)
     b.movi(count, iters)
     b.movi(best, 0)
+    b.movi(crc1, 0)
+    b.movi(crc3, 0)
 
     b.label("deflate")
     b.ld(cur, ptr, 0)                   # current window word
@@ -227,6 +229,7 @@ def build_crafty(scale: float = 1.0) -> Program:
     b.movi(board_hi, 0x0F0F0F0F)
     b.movi(count, iters)
     b.movi(score, 0)
+    b.movi(e1, 0)
 
     b.label("search")
     # Move-ordering hash (serial multiply recurrence bounds even ideal

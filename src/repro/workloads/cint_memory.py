@@ -88,11 +88,17 @@ def build_mcf(scale: float = 1.0) -> Program:
     outer = R(23)
 
     # Warming scan: touch every basis line sequentially (overlapped
-    # compulsory misses), standing in for mcf's setup passes.
+    # compulsory misses), standing in for mcf's setup passes.  The
+    # touched words fold into the bookkeeping checksum so every load
+    # destination has a use.
+    b.movi(hashk, 0)
+    b.movi(seen, 0)
+    b.movi(flags, 0)
     b.movi(warm_ptr, basis_nodes)
     b.movi(warm_end, basis_nodes + n_basis * node_words * WORD_SIZE)
     b.label("warm")
     b.ld(tmp, warm_ptr, 0)
+    b.add(seen, seen, tmp)
     b.addi(warm_ptr, warm_ptr, 64)
     b.cmplt(P(5), warm_ptr, warm_end)
     b.br("warm", pred=P(5))
@@ -218,6 +224,8 @@ def build_gap(scale: float = 1.0) -> Program:
     b.movi(count, n_work)
     b.movi(acc0, 0)
     b.movi(acc1, 1)
+    b.movi(h1, 0)
+    b.movi(h2, 0)
 
     b.label("dispatch")
     b.ld(tag, obj, 0)                   # scattered object header load
@@ -298,6 +306,8 @@ def build_parser(scale: float = 1.0) -> Program:
     b.movi(found, 0)
     b.movi(probes, 0)
     b.movi(mult, 1103515245)
+    b.movi(w1, 0)
+    b.movi(w2, 0)
 
     b.label("lookup")
     # Hash the "word" (LCG step): a multiply feeds the address chain.

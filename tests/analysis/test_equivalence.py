@@ -1,0 +1,62 @@
+"""Differential equivalence checking across all simulators."""
+
+from repro.analysis.equivalence import (DEFAULT_MODELS, Divergence,
+                                        EquivalenceReport, StateSnapshot,
+                                        _compare, check_workload,
+                                        check_workloads)
+
+
+def snapshot(source, regs=None, mem=None, retired=10):
+    return StateSnapshot(source, regs if regs is not None else {1: 7},
+                         mem if mem is not None else {0x100: 3}, retired)
+
+
+def test_vpr_is_equivalent_across_all_models():
+    report = check_workload("vpr", scale=0.05)
+    assert report.ok, report.render()
+    # functional + compiled + one snapshot per timing model.
+    assert len(report.snapshots) == 2 + len(DEFAULT_MODELS)
+    sources = [s.source for s in report.snapshots]
+    assert sources[:2] == ["functional", "compiled"]
+    assert set(DEFAULT_MODELS) <= set(sources)
+    retired = {s.retired for s in report.snapshots}
+    assert len(retired) == 1, "RESTART-adjusted retire counts must agree"
+
+
+def test_parser_subset_of_models():
+    report = check_workload("parser", models=("inorder", "multipass"),
+                            scale=0.05)
+    assert report.ok, report.render()
+    assert len(report.snapshots) == 4
+
+
+def test_check_workloads_plural():
+    reports = check_workloads(["vpr"], models=("multipass",), scale=0.05)
+    assert [r.workload for r in reports] == ["vpr"]
+    assert reports[0].ok
+
+
+def test_compare_reports_register_divergence_minimized():
+    report = EquivalenceReport("w", 0.05)
+    _compare(report, snapshot("functional"),
+             snapshot("multipass", regs={1: 8}))
+    (div,) = report.divergences
+    assert (div.left, div.right, div.kind) == ("functional", "multipass",
+                                               "registers")
+    assert "got 8, want 7" in div.detail
+    assert not report.ok
+
+
+def test_compare_reports_memory_and_retired_divergence():
+    report = EquivalenceReport("w", 0.05)
+    _compare(report, snapshot("functional"),
+             snapshot("ooo", mem={0x100: 4}, retired=9))
+    kinds = {d.kind for d in report.divergences}
+    assert kinds == {"memory", "retired"}
+
+
+def test_render_mentions_outcome():
+    report = EquivalenceReport("w", 0.05)
+    assert "EQUIVALENT" in report.render()
+    report.divergences.append(Divergence("a", "b", "registers", "x"))
+    assert "DIVERGED" in report.render()

@@ -1,0 +1,122 @@
+"""Stage-by-stage checked compilation: def-use and state contracts."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import passes_check as pc
+from repro.analysis import diagnostics as dc
+from repro.analysis.passes_check import (PassCheckError, checked_compile,
+                                         defuse_edges)
+from repro.compiler import CompileOptions
+from repro.isa import Opcode, P, ProgramBuilder, R
+from repro.isa.program import Program
+from repro.workloads import build_workload
+
+
+def chase_program():
+    """mcf-style pointer chase whose recurrence earns a RESTART."""
+    b = ProgramBuilder("chase")
+    b.movi(R(1), 0x1000)
+    b.movi(R(2), 0)
+    b.movi(R(3), 10)
+    b.label("loop")
+    b.ld(R(1), R(1), 0)               # node = node->next  (critical SCC)
+    b.ld(R(4), R(1), 4)
+    b.mul(R(5), R(4), R(4))           # expensive downstream work
+    b.mul(R(6), R(5), R(4))
+    b.add(R(2), R(2), R(6))
+    b.subi(R(3), R(3), 1)
+    b.cmplti(P(1), R(3), 1)
+    b.cmpeqi(P(2), P(1), 0)
+    b.br("loop", pred=P(2))
+    b.halt()
+    for i in range(16):
+        b.data_word(0x1000 + i * 8, 0x1000 + ((i + 1) % 16) * 8)
+        b.data_word(0x1000 + i * 8 + 4, i)
+    return b.build()
+
+
+def stage_names(reports):
+    return [r.stage for r in reports]
+
+
+def test_checked_compile_runs_all_stages_clean():
+    compiled, reports = checked_compile(chase_program())
+    assert stage_names(reports) == [
+        "input", "list_schedule", "insert_restarts", "form_issue_groups"]
+    assert all(r.ok for r in reports)
+    assert compiled.restart_count() >= 1
+
+
+def test_checked_compile_counts_restart_edges():
+    compiled, reports = checked_compile(chase_program())
+    (restart_report,) = [r for r in reports if r.stage == "insert_restarts"]
+    assert restart_report.new_edges == compiled.restart_count() >= 1
+
+
+def test_checked_compile_on_workload_with_execute_check():
+    program = build_workload("vpr", scale=0.05, verify=False)
+    _, reports = checked_compile(program, execute_check=True)
+    assert all(r.ok for r in reports)
+
+
+def test_checked_compile_with_if_conversion():
+    program = build_workload("twolf", scale=0.05, verify=False)
+    opts = CompileOptions(if_conversion=True)
+    _, reports = checked_compile(program, opts, execute_check=True)
+    assert "if_convert" in stage_names(reports)
+    assert all(r.ok for r in reports)
+
+
+def test_defuse_edges_ignore_order_but_not_operands():
+    program = chase_program()
+    scheduled, _ = checked_compile(
+        program, CompileOptions(restarts=False))
+    # Scheduling alone must preserve the def-use multiset exactly.
+    assert defuse_edges(program) == defuse_edges(scheduled)
+
+
+def _reseal(prog, instructions=None, memory_image=None):
+    return Program(
+        prog.name,
+        [dataclasses.replace(i) for i in (instructions or prog)],
+        dict(prog.labels),
+        memory_image=dict(memory_image
+                          if memory_image is not None
+                          else prog.memory_image),
+    )
+
+
+def test_tampered_scheduler_is_caught_by_defuse_diff(monkeypatch):
+    real = pc.list_schedule
+
+    def tampered(prog, ports):
+        out = real(prog, ports)
+        insts = [dataclasses.replace(i) for i in out]
+        victim = next(i for i in insts
+                      if i.opcode is Opcode.MUL and len(set(i.srcs)) == 2)
+        victim.srcs = (victim.srcs[1], victim.srcs[0])
+        return _reseal(out, instructions=insts)
+
+    monkeypatch.setattr(pc, "list_schedule", tampered)
+    with pytest.raises(PassCheckError) as exc_info:
+        checked_compile(chase_program())
+    assert exc_info.value.stage == "list_schedule"
+    assert any(d.code == dc.PCH001 for d in exc_info.value.diagnostics)
+
+
+def test_tampered_memory_image_is_caught_by_state_check(monkeypatch):
+    real = pc.list_schedule
+
+    def tampered(prog, ports):
+        out = real(prog, ports)
+        image = dict(out.memory_image)
+        image[0x7F00] = 99               # def-use graph is untouched
+        return _reseal(out, memory_image=image)
+
+    monkeypatch.setattr(pc, "list_schedule", tampered)
+    with pytest.raises(PassCheckError) as exc_info:
+        checked_compile(chase_program(), execute_check=True)
+    assert exc_info.value.stage == "list_schedule"
+    assert any(d.code == dc.PCH002 for d in exc_info.value.diagnostics)

@@ -1,0 +1,59 @@
+"""Regression: compiling twice must be a no-op for RESTART placement.
+
+The criticality analysis runs on the *dataflow* of the program, and a
+RESTART directive consumes the load it guards — a second compilation must
+recognise existing directives instead of stacking another one after every
+critical load, and must carry the label map through unchanged.
+"""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_program, insert_restarts
+from repro.isa import Opcode, execute
+from repro.workloads import ALL_WORKLOADS, build_workload
+
+from tests.compiler.test_scc_criticality import pointer_chase_program
+
+
+def test_double_compilation_adds_no_restarts():
+    once = compile_program(pointer_chase_program(), CompileOptions())
+    twice = compile_program(once, CompileOptions())
+    assert once.restart_count() == twice.restart_count() >= 1
+
+
+def test_double_compilation_preserves_label_map():
+    source = pointer_chase_program()
+    once = compile_program(source, CompileOptions())
+    twice = compile_program(once, CompileOptions())
+    assert twice.labels == once.labels
+    assert set(once.labels) == set(source.labels)
+
+
+def test_double_compilation_preserves_semantics():
+    once = compile_program(pointer_chase_program(), CompileOptions())
+    twice = compile_program(once, CompileOptions())
+    t1, t2 = execute(once), execute(twice)
+    assert t1.final_registers == t2.final_registers
+    assert t1.final_memory == t2.final_memory
+
+
+def test_insert_restarts_alone_is_idempotent_and_keeps_labels():
+    source = pointer_chase_program()
+    once = insert_restarts(source)
+    twice = insert_restarts(once)
+    assert once.restart_count() == twice.restart_count() == 1
+    assert twice.labels == once.labels
+
+
+@pytest.mark.parametrize("workload", sorted(ALL_WORKLOADS))
+def test_double_compilation_is_stable_on_every_workload(workload):
+    program = build_workload(workload, scale=0.05)
+    once = compile_program(program, CompileOptions())
+    twice = compile_program(once, CompileOptions())
+    assert twice.restart_count() == once.restart_count()
+    assert twice.labels == once.labels
+    # The scheduler may place the pre-existing RESTARTs differently, but
+    # recompilation must not add or drop any instruction.
+    from collections import Counter
+    assert (Counter(i.opcode for i in twice)
+            == Counter(i.opcode for i in once))

@@ -39,6 +39,41 @@ def test_duplicate_label_rejected():
         b.label("x")
 
 
+def test_pair_form_duplicate_label_rejected_at_seal():
+    from repro.isa import Program
+    insts = [Instruction(Opcode.MOVI, (R(1),), (), imm=1),
+             Instruction(Opcode.HALT)]
+    with pytest.raises(ProgramError, match="duplicate label 'x'"):
+        Program("dup", insts, [("x", 0), ("x", 1)])
+
+
+def test_branch_past_end_rejected_at_seal():
+    from repro.isa import Program
+    insts = [Instruction(Opcode.BR, target="end"),
+             Instruction(Opcode.HALT)]
+    with pytest.raises(ProgramError, match="past the end"):
+        Program("off-end", insts, {"end": 2})
+
+
+def test_label_index_out_of_range_rejected_at_seal():
+    from repro.isa import Program
+    insts = [Instruction(Opcode.HALT)]
+    with pytest.raises(ProgramError, match="out of range"):
+        Program("bad-label", insts, {"x": 99})
+
+
+def test_parse_asm_rejects_duplicate_label():
+    with pytest.raises(AsmError, match="duplicate label 'again'"):
+        parse_asm(
+            """
+            again:
+            movi r1 = 1
+            again:
+            halt
+            """
+        )
+
+
 def test_unaligned_data_rejected():
     b = ProgramBuilder("bad")
     with pytest.raises(ProgramError):
