@@ -5,20 +5,43 @@ scale by default; set ``REPRO_SCALE`` (e.g. ``REPRO_SCALE=0.2``) for a
 quick pass.  Figure benches run the whole experiment once inside
 ``benchmark.pedantic`` and print the regenerated rows next to the paper's
 reported values.
+
+The parallel experiment engine and the persistent result cache are
+wired through the same environment knobs the harness itself resolves:
+``REPRO_JOBS=4`` (or ``auto``) fans every figure's cell grid over a
+worker pool, and ``REPRO_RESULTS_CACHE=/path`` serves unchanged cells
+from disk — a warm second benchmark run regenerates every table with
+zero simulations.  Both default off, so timings are comparable to
+historical runs unless explicitly opted in.
 """
 
 import os
 
 import pytest
 
-from repro.harness import TraceCache
+from repro.harness import TraceCache, resolve_jobs, resolve_results_cache
 
 SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+#: Resolved $REPRO_JOBS worker count (1 = serial, the default).
+JOBS = resolve_jobs(None)
 
 
 @pytest.fixture(scope="session")
 def scale():
     return SCALE
+
+
+@pytest.fixture(scope="session")
+def jobs():
+    """Worker count the engine resolves from $REPRO_JOBS."""
+    return JOBS
+
+
+@pytest.fixture(scope="session")
+def results_cache():
+    """The $REPRO_RESULTS_CACHE-backed store, or None when disabled."""
+    return resolve_results_cache(None)
 
 
 @pytest.fixture(scope="session")

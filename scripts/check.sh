@@ -31,13 +31,28 @@ else
 fi
 
 step "pytest (tier-1 suite)"
-python -m pytest -x -q || failures=$((failures + 1))
+# Shard across CPUs when pytest-xdist is available; serial otherwise.
+if python -c "import xdist" >/dev/null 2>&1; then
+    python -m pytest -x -q -n auto || failures=$((failures + 1))
+else
+    python -m pytest -x -q || failures=$((failures + 1))
+fi
 
 step "repro lint (workload verifier)"
 python -m repro lint || failures=$((failures + 1))
 
 step "repro diffcheck (differential equivalence: vpr, parser)"
 python -m repro diffcheck vpr parser || failures=$((failures + 1))
+
+step "repro sweep --smoke (parallel engine + result cache end-to-end)"
+smoke_cache="$(mktemp -d)"
+# Cold pass simulates and populates the cache; warm pass must serve
+# every cell from disk.
+python -m repro sweep --smoke --results-cache "$smoke_cache" \
+    || failures=$((failures + 1))
+python -m repro sweep --smoke --results-cache "$smoke_cache" \
+    || failures=$((failures + 1))
+rm -rf "$smoke_cache"
 
 echo
 if [ "$failures" -ne 0 ]; then

@@ -3,9 +3,16 @@
 
 Usage:
     python scripts/run_experiments.py [--scale S] [--out results.md]
+                                      [--parallel N]
+                                      [--results-cache DIR]
 
 This is the free-standing equivalent of ``pytest benchmarks/`` for users
 who want the regenerated artefacts without the benchmark machinery.
+``--parallel`` fans each figure's cell grid over a worker pool and
+``--results-cache`` persists per-cell stats so a re-run (same sources,
+same scale) regenerates every artefact without a single simulation;
+both default to the $REPRO_JOBS / $REPRO_RESULTS_CACHE environment
+knobs (off when unset) and are bit-identical to the serial path.
 """
 
 import argparse
@@ -25,25 +32,34 @@ def main() -> int:
                         help="also write the report to this file")
     parser.add_argument("--skip-fig7", action="store_true",
                         help="skip the (slow) three-hierarchy sweep")
+    parser.add_argument("--parallel", metavar="N", default=None,
+                        help="worker processes ('auto' = one per CPU; "
+                             "default: $REPRO_JOBS, else serial)")
+    parser.add_argument("--results-cache", metavar="DIR", default=None,
+                        help="persistent result cache directory "
+                             "(default: $REPRO_RESULTS_CACHE, else off)")
     args = parser.parse_args()
 
     cache = TraceCache(args.scale)
+    engine = {"parallel": args.parallel,
+              "results_cache": args.results_cache}
     sections = []
     jobs = [
         ("Table 1 — structure power ratios",
-         lambda: table1(args.scale, cache=cache)),
+         lambda: table1(args.scale, cache=cache, **engine)),
         ("Figure 6 — normalized execution cycles",
-         lambda: figure6(args.scale, cache=cache)),
+         lambda: figure6(args.scale, cache=cache, **engine)),
         ("Figure 8 — regrouping / restart ablations",
-         lambda: figure8(args.scale, cache=cache)),
+         lambda: figure8(args.scale, cache=cache, **engine)),
         ("Section 5.4 — Dundas-Mudge runahead",
-         lambda: runahead_comparison(args.scale, cache=cache)),
+         lambda: runahead_comparison(args.scale, cache=cache, **engine)),
         ("Section 5.2 — realistic out-of-order",
-         lambda: realistic_ooo_comparison(args.scale, cache=cache)),
+         lambda: realistic_ooo_comparison(args.scale, cache=cache,
+                                          **engine)),
     ]
     if not args.skip_fig7:
         jobs.append(("Figure 7 — cache hierarchies",
-                     lambda: figure7(args.scale)))
+                     lambda: figure7(args.scale, **engine)))
 
     for title, job in jobs:
         start = time.time()

@@ -3,7 +3,13 @@
 Commands:
 
 * ``simulate`` — run one workload through one or more timing models
-  (``--check`` enables runtime invariant checking).
+  (``--check`` enables runtime invariant checking; ``--parallel`` /
+  ``--results-cache`` route through the sharded experiment engine).
+* ``sweep``    — run a (models x workloads) cell grid through the
+  parallel engine with fault handling and the on-disk result cache
+  (``--smoke`` is the fast end-to-end variant used by check.sh).
+* ``cache``    — inspect (``stats``) or empty (``clear``) a result
+  cache directory.
 * ``compare``  — race all primary models on one workload.
 * ``workloads`` — list the packaged SPEC-like kernels.
 * ``models``    — list the available timing models.
@@ -11,6 +17,10 @@ Commands:
 * ``lint``      — run the static program verifier over workloads.
 * ``diffcheck`` — differentially execute all simulators and assert
   identical final architectural state.
+
+``--parallel`` defaults to ``$REPRO_JOBS`` (``auto`` = one worker per
+CPU) and ``--results-cache`` to ``$REPRO_RESULTS_CACHE``; both default
+off so serial behaviour is unchanged.
 """
 
 from __future__ import annotations
@@ -50,6 +60,16 @@ def _cmd_models(_args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    if (args.parallel or args.results_cache) and not args.check:
+        from .harness import run_matrix
+        matrix = run_matrix(args.models, (args.workload,),
+                            scale=args.scale, parallel=args.parallel,
+                            results_cache=args.results_cache)
+        print(f"{args.workload} (scale {args.scale})\n")
+        for model in args.models:
+            print(matrix.get(args.workload, model).summary())
+            print()
+        return 0
     cache = TraceCache(args.scale)
     trace = cache.trace(args.workload)
     print(f"{args.workload}: {len(trace)} dynamic instructions "
@@ -60,6 +80,58 @@ def _cmd_simulate(args) -> int:
         print()
     if args.check:
         print("runtime invariant checks passed for all models")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .harness.parallel import sweep
+
+    models = args.models
+    workloads = args.workloads
+    scale = args.scale
+    jobs = args.parallel
+    if args.smoke:
+        # Fast end-to-end exercise of the parallel path for check.sh.
+        models = models or ["inorder", "multipass"]
+        workloads = workloads or ["vpr", "parser"]
+        scale = scale if scale is not None else 0.05
+        jobs = jobs if jobs is not None else 2
+    models = models or sorted({**MODEL_FACTORIES, **ABLATION_FACTORIES}
+                              if args.ablations else MODEL_FACTORIES)
+    workloads = workloads or list(ALL_WORKLOADS)
+    scale = scale if scale is not None else 1.0
+
+    report = sweep(models, workloads, scale=scale, jobs=jobs,
+                   results_cache=args.results_cache,
+                   timeout=args.timeout)
+    matrix = report.matrix
+    header = f"{'workload':>9}" + "".join(f" {m:>14}" for m in models)
+    print(f"cycles per (workload, model) cell at scale {scale}")
+    print(header)
+    for workload in matrix.workloads():
+        cells = "".join(
+            f" {matrix.get(workload, m).cycles:>14}"
+            if (workload, m) in matrix.results else f" {'FAILED':>14}"
+            for m in models)
+        print(f"{workload:>9}{cells}")
+    print()
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_cache(args) -> int:
+    from .harness.results_cache import resolve_results_cache
+
+    store = resolve_results_cache(args.results_cache)
+    if store is None:
+        print("repro cache: no cache directory; pass --results-cache DIR "
+              "or set REPRO_RESULTS_CACHE", file=sys.stderr)
+        return 2
+    if args.action == "stats":
+        print(store.describe())
+    else:
+        removed = store.clear()
+        print(f"removed {removed} cached result(s) from {store.root}")
     return 0
 
 
@@ -130,9 +202,19 @@ def _cmd_compare(args) -> int:
 
 def _cmd_figures(args) -> int:
     driver = _FIGURES[args.name]
-    result = driver(scale=args.scale)
+    result = driver(scale=args.scale, parallel=args.parallel,
+                    results_cache=args.results_cache)
     print(result.text)
     return 0
+
+
+def _add_engine_flags(parser) -> None:
+    parser.add_argument("--parallel", metavar="N", default=None,
+                        help="worker processes ('auto' = one per CPU; "
+                             "default: $REPRO_JOBS, else serial)")
+    parser.add_argument("--results-cache", metavar="DIR", default=None,
+                        help="persistent result cache directory "
+                             "(default: $REPRO_RESULTS_CACHE, else off)")
 
 
 def main(argv=None) -> int:
@@ -150,7 +232,33 @@ def main(argv=None) -> int:
     sim.add_argument("--scale", type=float, default=0.25)
     sim.add_argument("--check", action="store_true",
                      help="enable runtime invariant checking")
+    _add_engine_flags(sim)
     sim.set_defaults(fn=_cmd_simulate)
+
+    swp = sub.add_parser("sweep")
+    swp.add_argument("--models", nargs="+",
+                     choices=sorted({**MODEL_FACTORIES,
+                                     **ABLATION_FACTORIES}))
+    swp.add_argument("--workloads", nargs="+", choices=ALL_WORKLOADS)
+    swp.add_argument("--ablations", action="store_true",
+                     help="default the model list to primaries + "
+                          "ablations")
+    swp.add_argument("--scale", type=float, default=None)
+    swp.add_argument("--timeout", type=float, default=None,
+                     help="per-cell timeout in seconds")
+    swp.add_argument("--smoke", action="store_true",
+                     help="fast two-workload, two-model sweep at scale "
+                          "0.05 with 2 workers (check.sh target)")
+    _add_engine_flags(swp)
+    swp.set_defaults(fn=_cmd_sweep)
+
+    cache_parser = sub.add_parser("cache")
+    cache_parser.add_argument("action", choices=("stats", "clear"))
+    cache_parser.add_argument("--results-cache", metavar="DIR",
+                              default=None,
+                              help="cache directory (default: "
+                                   "$REPRO_RESULTS_CACHE)")
+    cache_parser.set_defaults(fn=_cmd_cache)
 
     lint = sub.add_parser("lint")
     lint.add_argument("workloads", nargs="*", metavar="workload",
@@ -175,6 +283,7 @@ def main(argv=None) -> int:
     figures = sub.add_parser("figures")
     figures.add_argument("name", choices=sorted(_FIGURES))
     figures.add_argument("--scale", type=float, default=1.0)
+    _add_engine_flags(figures)
     figures.set_defaults(fn=_cmd_figures)
 
     args = parser.parse_args(argv)

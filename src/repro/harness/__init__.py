@@ -6,8 +6,12 @@ from .experiment import (ABLATION_FACTORIES, MODEL_FACTORIES, Matrix,
                          run_model)
 from .figures import (FigureResult, figure6, figure7, figure8,
                       realistic_ooo_comparison, runahead_comparison, table1)
+from .parallel import (CellResult, CellSpec, SweepError, SweepReport,
+                       resolve_jobs, simulate_cell, sweep)
 from .report import (breakdown_row, fig6_table, speedup_table,
                      stall_reduction, summarize_headline)
+from .results_cache import (CacheStats, ResultsCache, cell_key, fingerprint,
+                            resolve_results_cache, source_digest)
 from .sampling import SamplingResult, sampled_simulation
 
 __all__ = [
@@ -19,4 +23,7 @@ __all__ = [
     "summarize_headline", "table1", "fig6_chart", "mode_strip",
     "speedup_bars", "stacked_bar", "SamplingResult",
     "sampled_simulation",
+    "CacheStats", "CellResult", "CellSpec", "ResultsCache", "SweepError",
+    "SweepReport", "cell_key", "fingerprint", "resolve_jobs",
+    "resolve_results_cache", "simulate_cell", "source_digest", "sweep",
 ]

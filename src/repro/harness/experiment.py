@@ -8,7 +8,7 @@ the identical instruction stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple, Union
 
 from ..compiler import CompileOptions, compile_program
 from ..isa import Trace, execute
@@ -108,8 +108,36 @@ def run_matrix(models: Iterable[str],
                workloads: Iterable[str] = ALL_WORKLOADS,
                config: Optional[MachineConfig] = None,
                scale: float = 1.0,
-               cache: Optional[TraceCache] = None) -> Matrix:
-    """Run every (model, workload) combination."""
+               cache: Optional[TraceCache] = None,
+               parallel: Union[None, int, str] = None,
+               results_cache=None,
+               cell_timeout: Optional[float] = None) -> Matrix:
+    """Run every (model, workload) combination.
+
+    ``parallel`` fans the cell grid out over a process pool (default:
+    $REPRO_JOBS, else serial) and ``results_cache`` serves unchanged
+    cells from an on-disk store (default: $REPRO_RESULTS_CACHE, else
+    off); both paths are bit-identical to the serial one.  Any failed
+    cell raises :class:`~repro.harness.parallel.SweepError` after one
+    retry — use :func:`~repro.harness.parallel.sweep` directly for a
+    report with recorded failure rows instead.
+    """
+    from .parallel import resolve_jobs, sweep
+    from .results_cache import resolve_results_cache
+    jobs = resolve_jobs(parallel)
+    store = resolve_results_cache(results_cache)
+    if jobs > 1 or store is not None:
+        models = list(models)
+        workloads = list(workloads)
+        report = sweep(
+            models, workloads, config=config,
+            scale=cache.scale if cache else scale,
+            compile_options=cache.compile_options if cache else None,
+            max_instructions=(cache.max_instructions if cache
+                              else 5_000_000),
+            jobs=jobs, results_cache=store, timeout=cell_timeout)
+        report.raise_on_failure()
+        return report.matrix
     cache = cache or TraceCache(scale)
     matrix = Matrix(scale=cache.scale)
     for workload in workloads:

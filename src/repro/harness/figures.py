@@ -29,7 +29,7 @@ from ..power import average_ratios, multipass_power, ooo_power
 from ..power.structures import (PAPER_AVERAGE_RATIOS, PAPER_PEAK_RATIOS,
                                 table1_groups)
 from ..workloads import ALL_WORKLOADS
-from .experiment import Matrix, TraceCache, geomean, run_matrix, run_model
+from .experiment import Matrix, TraceCache, geomean, run_matrix
 from .report import fig6_table, speedup_table, stall_reduction
 
 
@@ -50,11 +50,13 @@ def _cache(scale: float, cache: Optional[TraceCache]) -> TraceCache:
 
 
 def figure6(scale: float = 1.0, workloads=ALL_WORKLOADS,
-            cache: Optional[TraceCache] = None) -> FigureResult:
+            cache: Optional[TraceCache] = None,
+            parallel=None, results_cache=None) -> FigureResult:
     """Fig. 6: normalized cycles, stall breakdown, headline aggregates."""
     cache = _cache(scale, cache)
     matrix = run_matrix(("inorder", "multipass", "ooo"),
-                        workloads=workloads, cache=cache)
+                        workloads=workloads, cache=cache,
+                        parallel=parallel, results_cache=results_cache)
     mp_speedup = geomean(matrix.speedup(w, "multipass")
                          for w in matrix.workloads())
     ooo_over_mp = geomean(
@@ -83,7 +85,8 @@ def figure6(scale: float = 1.0, workloads=ALL_WORKLOADS,
 
 
 def figure7(scale: float = 1.0, workloads=ALL_WORKLOADS,
-            hierarchies=("base", "config1", "config2")) -> FigureResult:
+            hierarchies=("base", "config1", "config2"),
+            parallel=None, results_cache=None) -> FigureResult:
     """Fig. 7: MP and OOO speedups under the three cache hierarchies."""
     per_config: Dict[str, Matrix] = {}
     rows: List[str] = [
@@ -97,7 +100,8 @@ def figure7(scale: float = 1.0, workloads=ALL_WORKLOADS,
         cache = TraceCache(scale)
         matrix = run_matrix(("inorder", "multipass", "ooo"),
                             workloads=workloads, config=config,
-                            cache=cache)
+                            cache=cache, parallel=parallel,
+                            results_cache=results_cache)
         per_config[name] = matrix
         data[name] = {}
         for model in ("multipass", "ooo"):
@@ -118,9 +122,14 @@ def figure7(scale: float = 1.0, workloads=ALL_WORKLOADS,
 
 
 def figure8(scale: float = 1.0, workloads=ALL_WORKLOADS,
-            cache: Optional[TraceCache] = None) -> FigureResult:
+            cache: Optional[TraceCache] = None,
+            parallel=None, results_cache=None) -> FigureResult:
     """Fig. 8: % of full MP speedup without regrouping / without restart."""
     cache = _cache(scale, cache)
+    matrix = run_matrix(("inorder", "multipass", "multipass-noregroup",
+                         "multipass-norestart"),
+                        workloads=workloads, cache=cache,
+                        parallel=parallel, results_cache=results_cache)
     rows = [
         "Percent of full multipass speedup retained",
         f"{'workload':>9} {'full MP':>8} {'no-regroup':>11} "
@@ -128,13 +137,12 @@ def figure8(scale: float = 1.0, workloads=ALL_WORKLOADS,
     ]
     data: Dict[str, Dict[str, float]] = {}
     for workload in workloads:
-        trace = cache.trace(workload)
-        base = run_model("inorder", trace)
-        full = run_model("multipass", trace)
+        base = matrix.get(workload, "inorder")
+        full = matrix.get(workload, "multipass")
         full_gain = base.cycles / full.cycles - 1.0
 
         def retained(model: str) -> float:
-            stats = run_model(model, trace)
+            stats = matrix.get(workload, model)
             gain = base.cycles / stats.cycles - 1.0
             return gain / full_gain if full_gain > 1e-9 else 1.0
 
@@ -154,14 +162,18 @@ def figure8(scale: float = 1.0, workloads=ALL_WORKLOADS,
 
 
 def table1(scale: float = 1.0, workload: str = "mcf",
-           cache: Optional[TraceCache] = None) -> FigureResult:
+           cache: Optional[TraceCache] = None,
+           parallel=None, results_cache=None) -> FigureResult:
     """Table 1: peak and average power ratios (OOO / multipass)."""
     cache = _cache(scale, cache)
     groups = table1_groups()
     peak = {name: group.peak_ratio() for name, group in groups.items()}
+    matrix = run_matrix(("multipass", "ooo"), workloads=(workload,),
+                        cache=cache, parallel=parallel,
+                        results_cache=results_cache)
     trace = cache.trace(workload)
-    mp_stats = run_model("multipass", trace)
-    ooo_stats = run_model("ooo", trace)
+    mp_stats = matrix.get(workload, "multipass")
+    ooo_stats = matrix.get(workload, "ooo")
     average = average_ratios(ooo_power(ooo_stats, trace),
                              multipass_power(mp_stats, trace))
     rows = [
@@ -180,11 +192,13 @@ def table1(scale: float = 1.0, workload: str = "mcf",
 
 
 def runahead_comparison(scale: float = 1.0, workloads=ALL_WORKLOADS,
-                        cache: Optional[TraceCache] = None) -> FigureResult:
+                        cache: Optional[TraceCache] = None,
+                        parallel=None, results_cache=None) -> FigureResult:
     """Section 5.4: Dundas–Mudge runahead vs multipass cycle reduction."""
     cache = _cache(scale, cache)
     matrix = run_matrix(("inorder", "multipass", "runahead"),
-                        workloads=workloads, cache=cache)
+                        workloads=workloads, cache=cache,
+                        parallel=parallel, results_cache=results_cache)
     mp_reduction = sum(
         1 - matrix.get(w, "multipass").cycles
         / matrix.get(w, "inorder").cycles
@@ -209,12 +223,14 @@ def runahead_comparison(scale: float = 1.0, workloads=ALL_WORKLOADS,
 
 
 def realistic_ooo_comparison(scale: float = 1.0, workloads=ALL_WORKLOADS,
-                             cache: Optional[TraceCache] = None
+                             cache: Optional[TraceCache] = None,
+                             parallel=None, results_cache=None
                              ) -> FigureResult:
     """Section 5.2: multipass vs the decentralized-queue OOO model."""
     cache = _cache(scale, cache)
     matrix = run_matrix(("inorder", "multipass", "ooo-realistic"),
-                        workloads=workloads, cache=cache)
+                        workloads=workloads, cache=cache,
+                        parallel=parallel, results_cache=results_cache)
     mp_over_realistic = geomean(
         matrix.get(w, "ooo-realistic").cycles
         / matrix.get(w, "multipass").cycles

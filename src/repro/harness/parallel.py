@@ -1,0 +1,311 @@
+"""Sharded parallel experiment engine with fault handling.
+
+The (model, workload, config) cell grid of a sweep is embarrassingly
+parallel: every cell replays its own functionally-executed trace, and
+every simulator is deterministic, so fanning cells out over a process
+pool must produce *bit-identical* stats to a serial
+:func:`~repro.harness.experiment.run_matrix` — the equivalence tests in
+``tests/harness/test_parallel_matrix.py`` enforce exactly that.
+
+Cells are dispatched to a ``concurrent.futures`` process pool.  Each
+worker keeps a process-global :class:`~repro.harness.experiment.TraceCache`
+so a worker that simulates several models of the same workload pays for
+the functional execution once.  Fault handling is two-layered:
+
+* **In-worker timeout** — every cell runs under a ``SIGALRM`` interval
+  timer (the simulators are pure Python, so the signal interrupts even
+  a wedged loop); expiry surfaces as a failure row, not a hang.
+* **Retry once, then record** — a failed cell (exception, timeout, or a
+  worker process death) is retried on a fresh round; a second failure
+  becomes a :class:`CellResult` failure row in the report so one bad
+  cell degrades a sweep instead of crashing it.
+
+When a :class:`~repro.harness.results_cache.ResultsCache` is supplied,
+cells whose key is already on disk are served without simulation and
+fresh results are persisted, so a warm second sweep performs zero
+simulations.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, process
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import multiprocessing
+
+from ..compiler import CompileOptions
+from ..machine import MachineConfig
+from ..pipeline import SimStats
+from ..workloads import ALL_WORKLOADS
+from .experiment import Matrix, TraceCache, run_model
+from .results_cache import ResultsCache, fingerprint, resolve_results_cache
+
+#: Environment variable that supplies a default worker count.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Matches :class:`TraceCache`'s functional-execution budget.
+DEFAULT_MAX_INSTRUCTIONS = 5_000_000
+
+
+def resolve_jobs(value: Union[None, int, str] = None) -> int:
+    """Worker count: explicit argument, else $REPRO_JOBS, else 1 (serial).
+
+    ``"auto"`` or any value < 1 means one worker per available CPU.
+    """
+    if value is None:
+        value = os.environ.get(JOBS_ENV_VAR) or 1
+    if isinstance(value, str):
+        if value.strip().lower() == "auto":
+            return os.cpu_count() or 1
+        value = int(value)
+    if value < 1:
+        return os.cpu_count() or 1
+    return value
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Everything a worker needs to simulate one sweep cell."""
+
+    workload: str
+    model: str
+    scale: float = 1.0
+    compile_options: CompileOptions = field(default_factory=CompileOptions)
+    config: MachineConfig = field(default_factory=MachineConfig)
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: stats on success, an error row otherwise."""
+
+    workload: str
+    model: str
+    stats: Optional[SimStats] = None
+    error: Optional[str] = None
+    attempts: int = 1
+    duration: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class CellTimeout(Exception):
+    """Raised inside a worker when a cell exceeds its time budget."""
+
+
+class SweepError(RuntimeError):
+    """Raised by :func:`run_matrix` when cells fail even after retry."""
+
+
+#: Per-process trace caches, keyed by (scale, compile fingerprint,
+#: budget) — pool workers are reused across cells, so each worker
+#: functionally executes any given workload at most once.
+_WORKER_TRACES: Dict[Tuple[float, str, int], TraceCache] = {}
+
+
+def _worker_trace(spec: CellSpec):
+    key = (spec.scale, fingerprint(spec.compile_options),
+           spec.max_instructions)
+    cache = _WORKER_TRACES.get(key)
+    if cache is None:
+        cache = TraceCache(spec.scale, compile_options=spec.compile_options,
+                           max_instructions=spec.max_instructions)
+        _WORKER_TRACES[key] = cache
+    return cache.trace(spec.workload)
+
+
+def simulate_cell(spec: CellSpec) -> SimStats:
+    """The production cell runner: build/reuse the trace, run the model."""
+    return run_model(spec.model, _worker_trace(spec), spec.config)
+
+
+def _raise_timeout(signum, frame):
+    raise CellTimeout()
+
+
+def _execute_cell(spec: CellSpec, runner: Callable[[CellSpec], SimStats],
+                  timeout: Optional[float]) -> CellResult:
+    """Run one cell under the per-cell timer, never letting it raise."""
+    start = time.perf_counter()
+    # SIGALRM is only available on the main thread of a process; pool
+    # workers run tasks there, as does the in-process jobs=1 path.
+    arm = (timeout is not None and hasattr(signal, "SIGALRM")
+           and threading.current_thread() is threading.main_thread())
+    previous = None
+    try:
+        if arm:
+            previous = signal.signal(signal.SIGALRM, _raise_timeout)
+            signal.setitimer(signal.ITIMER_REAL, timeout)
+        stats = runner(spec)
+        return CellResult(spec.workload, spec.model, stats=stats,
+                          duration=time.perf_counter() - start)
+    except CellTimeout:
+        return CellResult(spec.workload, spec.model,
+                          error=f"timed out after {timeout:g}s",
+                          duration=time.perf_counter() - start)
+    except Exception as exc:
+        return CellResult(spec.workload, spec.model,
+                          error=f"{type(exc).__name__}: {exc}",
+                          duration=time.perf_counter() - start)
+    finally:
+        if arm:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+def _pool_context():
+    # fork keeps already-imported test/runner modules visible to workers
+    # and skips re-importing the simulator; fall back where unavailable.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _run_round(specs: Sequence[CellSpec], jobs: int,
+               runner: Callable[[CellSpec], SimStats],
+               timeout: Optional[float]) -> List[CellResult]:
+    """Execute one batch of cells, one result per spec, in spec order."""
+    if jobs <= 1 or len(specs) <= 1:
+        return [_execute_cell(spec, runner, timeout) for spec in specs]
+    results: List[CellResult] = []
+    with ProcessPoolExecutor(max_workers=min(jobs, len(specs)),
+                             mp_context=_pool_context()) as pool:
+        futures = [pool.submit(_execute_cell, spec, runner, timeout)
+                   for spec in specs]
+        for spec, future in zip(specs, futures):
+            try:
+                results.append(future.result())
+            except process.BrokenProcessPool:
+                results.append(CellResult(
+                    spec.workload, spec.model,
+                    error="worker process died (broken pool)"))
+            except Exception as exc:  # pragma: no cover - defensive
+                results.append(CellResult(
+                    spec.workload, spec.model,
+                    error=f"{type(exc).__name__}: {exc}"))
+    return results
+
+
+@dataclass
+class SweepReport:
+    """A completed sweep: the matrix plus operability accounting."""
+
+    matrix: Matrix
+    failures: List[CellResult] = field(default_factory=list)
+    cells: int = 0
+    simulated: int = 0
+    cache_hits: int = 0
+    cache_stores: int = 0
+    jobs: int = 1
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"sweep: {self.cells} cell(s) with {self.jobs} job(s) in "
+            f"{self.elapsed:.1f}s — {self.simulated} simulated, "
+            f"{self.cache_hits} from cache, {len(self.failures)} failed"
+        ]
+        for failure in self.failures:
+            lines.append(
+                f"  FAILED {failure.workload}/{failure.model} after "
+                f"{failure.attempts} attempt(s): {failure.error}")
+        return "\n".join(lines)
+
+    def raise_on_failure(self) -> None:
+        if self.failures:
+            raise SweepError(self.summary())
+
+
+def sweep(models: Sequence[str],
+          workloads: Sequence[str] = ALL_WORKLOADS,
+          *,
+          config: Optional[MachineConfig] = None,
+          scale: float = 1.0,
+          compile_options: Optional[CompileOptions] = None,
+          max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+          jobs: Union[None, int, str] = None,
+          results_cache: Union[None, str, ResultsCache] = None,
+          timeout: Optional[float] = None,
+          retries: int = 1,
+          runner: Optional[Callable[[CellSpec], SimStats]] = None
+          ) -> SweepReport:
+    """Run the full cell grid; always returns a report, never hangs.
+
+    Failed cells (after ``retries`` extra attempts each) appear in
+    ``report.failures`` and are absent from ``report.matrix``.
+    """
+    start = time.perf_counter()
+    # Resolved at call time so tests can swap the module-level default.
+    runner = runner or simulate_cell
+    jobs = resolve_jobs(jobs)
+    store = resolve_results_cache(results_cache)
+    config = config or MachineConfig()
+    compile_options = compile_options or CompileOptions()
+
+    specs = [CellSpec(workload, model, scale, compile_options, config,
+                      max_instructions)
+             for workload in workloads for model in models]
+    matrix = Matrix(scale=scale)
+    report = SweepReport(matrix=matrix, cells=len(specs), jobs=jobs)
+
+    keys: Dict[Tuple[str, str], str] = {}
+    outstanding: List[CellSpec] = []
+    for spec in specs:
+        cell = (spec.workload, spec.model)
+        if store is not None:
+            keys[cell] = store.key_for(spec.workload, spec.model,
+                                       spec.scale, spec.compile_options,
+                                       spec.config, spec.max_instructions)
+            stats = store.get(keys[cell])
+            if stats is not None:
+                matrix.results[cell] = stats
+                report.cache_hits += 1
+                continue
+        outstanding.append(spec)
+
+    results: Dict[Tuple[str, str], CellResult] = {}
+    for attempt in range(1, retries + 2):
+        if not outstanding:
+            break
+        failed: List[CellSpec] = []
+        for spec, result in zip(outstanding,
+                                _run_round(outstanding, jobs, runner,
+                                           timeout)):
+            result.attempts = attempt
+            results[(spec.workload, spec.model)] = result
+            if not result.ok:
+                failed.append(spec)
+        outstanding = failed if attempt <= retries else []
+
+    for cell, result in results.items():
+        if result.ok:
+            matrix.results[cell] = result.stats
+            report.simulated += 1
+            if store is not None:
+                store.put(keys[cell], result.stats)
+                report.cache_stores += 1
+        else:
+            report.failures.append(result)
+
+    report.elapsed = time.perf_counter() - start
+    return report
+
+
+__all__ = [
+    "CellResult", "CellSpec", "CellTimeout", "DEFAULT_MAX_INSTRUCTIONS",
+    "JOBS_ENV_VAR", "SweepError", "SweepReport", "resolve_jobs",
+    "simulate_cell", "sweep",
+]

@@ -6,6 +6,13 @@ from repro.compiler import CompileOptions, compile_program
 from repro.isa import ProgramBuilder, execute
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate the tests/golden/ per-workload stats instead of "
+             "comparing against them (commit the diff deliberately)")
+
+
 def build_trace(body_fn, name="t", compile_opts=None, max_instructions=500_000):
     """Assemble, compile and functionally execute a small program.
 

@@ -1,0 +1,86 @@
+"""Determinism and cache-equivalence contracts of the parallel engine.
+
+The whole point of the sharded engine is that it is an *optimization*,
+never a semantic change: a parallel sweep, a cold cached sweep and a
+warm cached sweep must all produce stats bit-identical to plain serial
+``run_matrix`` (SimStats dataclass equality covers cycles, the stall
+breakdown, counters, memory-hierarchy stats and branch accuracy).
+"""
+
+from repro.harness import (MODEL_FACTORIES, ResultsCache, run_matrix,
+                           sweep)
+from repro.workloads import ALL_WORKLOADS
+
+SCALE = 0.05
+WORKLOADS = ("vpr", "parser")
+MODELS = ("inorder", "multipass", "ooo")
+
+
+def test_parallel_matches_serial():
+    serial = run_matrix(MODELS, WORKLOADS, scale=SCALE)
+    parallel = run_matrix(MODELS, WORKLOADS, scale=SCALE, parallel=4)
+    assert parallel.scale == serial.scale
+    assert parallel.results == serial.results
+
+
+def test_parallel_includes_ablations():
+    models = MODELS + ("multipass-norestart", "twopass")
+    serial = run_matrix(models, ("vpr",), scale=SCALE)
+    parallel = run_matrix(models, ("vpr",), scale=SCALE, parallel=2)
+    assert parallel.results == serial.results
+
+
+def test_warm_cache_hit_matches_cold_miss(tmp_path):
+    serial = run_matrix(MODELS, WORKLOADS, scale=SCALE)
+
+    cold_store = ResultsCache(tmp_path)
+    cold = run_matrix(MODELS, WORKLOADS, scale=SCALE, parallel=2,
+                      results_cache=cold_store)
+    cells = len(MODELS) * len(WORKLOADS)
+    assert cold_store.stats.misses == cells
+    assert cold_store.stats.stores == cells
+    assert cold.results == serial.results
+
+    warm_store = ResultsCache(tmp_path)
+    warm = run_matrix(MODELS, WORKLOADS, scale=SCALE,
+                      results_cache=warm_store)
+    assert warm_store.stats.hits == cells
+    assert warm_store.stats.misses == 0
+    assert warm.results == serial.results
+
+
+def test_warm_cache_full_default_matrix_zero_simulations(tmp_path):
+    """Acceptance criterion: a second sweep over the full default matrix
+    (every workload x every primary model) performs zero simulations."""
+    models = sorted(MODEL_FACTORIES)
+    cells = len(models) * len(ALL_WORKLOADS)
+
+    cold = sweep(models, scale=SCALE, jobs=2,
+                 results_cache=ResultsCache(tmp_path))
+    assert cold.ok
+    assert cold.simulated == cells
+    assert cold.cache_hits == 0
+
+    warm_store = ResultsCache(tmp_path)
+    warm = sweep(models, scale=SCALE, jobs=2, results_cache=warm_store)
+    assert warm.ok
+    assert warm.simulated == 0
+    assert warm.cache_hits == cells
+    assert warm_store.stats.hits == cells
+    assert warm.matrix.results == cold.matrix.results
+
+
+def test_corrupt_cache_entry_degrades_to_miss(tmp_path):
+    store = ResultsCache(tmp_path)
+    run_matrix(MODELS, ("vpr",), scale=SCALE, results_cache=store)
+    victim = next(iter(store.entries()))
+    victim.write_bytes(b"not a pickle")
+
+    reread = ResultsCache(tmp_path)
+    matrix = run_matrix(MODELS, ("vpr",), scale=SCALE,
+                        results_cache=reread)
+    assert reread.stats.misses == 1
+    assert reread.stats.errors == 1
+    assert reread.stats.hits == len(MODELS) - 1
+    assert matrix.results == run_matrix(MODELS, ("vpr",),
+                                        scale=SCALE).results

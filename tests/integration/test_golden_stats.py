@@ -1,0 +1,70 @@
+"""Golden per-workload stats for every primary timing model.
+
+Each ``tests/golden/<workload>.json`` pins cycles, committed
+instructions and the four-way stall breakdown at scale 0.1 for all five
+primary models.  Any drift — a timing-model change, a compiler-pass
+change, a workload-generator change — fails here; regenerate the files
+deliberately with::
+
+    pytest tests/integration/test_golden_stats.py --update-golden
+
+and explain the shift in the commit message.  (The kernel-level golden
+cycle counts in ``test_golden.py`` cover the same ground at a much
+finer grain; this file covers the full workloads the figures use.)
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness import MODEL_FACTORIES, TraceCache, run_model
+from repro.pipeline.stats import StallCategory
+from repro.workloads import ALL_WORKLOADS
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+SCALE = 0.1
+MODELS = sorted(MODEL_FACTORIES)
+
+#: One functional execution per workload, shared by all parametrizations.
+_TRACES = TraceCache(SCALE)
+
+
+def _payload(stats):
+    return {
+        "cycles": stats.cycles,
+        "instructions": stats.instructions,
+        "stalls": {category.value: stats.cycle_breakdown[category]
+                   for category in StallCategory},
+    }
+
+
+def _simulate(workload):
+    trace = _TRACES.trace(workload)
+    return {model: _payload(run_model(model, trace)) for model in MODELS}
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS)
+def test_golden_stats(workload, request):
+    actual = _simulate(workload)
+    path = GOLDEN_DIR / f"{workload}.json"
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True)
+                        + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden file {path}; generate it with "
+        f"pytest {Path(__file__).name} --update-golden")
+    golden = json.loads(path.read_text())
+    drifted = {
+        model: {"golden": golden.get(model), "actual": actual[model]}
+        for model in MODELS if golden.get(model) != actual[model]
+    }
+    assert not drifted, (
+        f"{workload}: stats drifted from tests/golden/{path.name} — "
+        f"rerun with --update-golden only for deliberate model changes:\n"
+        + json.dumps(drifted, indent=2, sort_keys=True))
+    assert sorted(golden) == MODELS, (
+        f"{workload}: golden file models {sorted(golden)} != {MODELS}; "
+        f"regenerate with --update-golden")

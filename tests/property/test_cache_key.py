@@ -1,0 +1,178 @@
+"""Property tests for the result-cache key and the multipass ResultStore.
+
+The cache-key contract: any change to any field of
+:class:`CompileOptions` or :class:`MachineConfig` — or to the workload,
+model, scale, instruction budget or source-tree digest — must change
+the key; recreating identical configurations must reproduce it exactly
+(the key is hash()-free, so it is stable across interpreter runs).
+
+The ResultStore contract: random op programs against the store behave
+like a plain seq -> entry mapping (persistence across passes is just
+"the dict keeps what you put until popped/flushed").
+"""
+
+import dataclasses
+
+import pytest
+
+hypothesis = pytest.importorskip(
+    "hypothesis", reason="property tests need hypothesis")
+import hypothesis.strategies as st  # noqa: E402
+from hypothesis import given, settings  # noqa: E402
+
+from repro.compiler import CompileOptions  # noqa: E402
+from repro.harness.results_cache import (canonical, cell_key,  # noqa: E402
+                                         fingerprint)
+from repro.machine import MachineConfig  # noqa: E402
+from repro.multipass import RSEntry, ResultStore  # noqa: E402
+from repro.resources import PortModel  # noqa: E402
+
+DIGEST = "test-digest"
+
+
+def _key(**overrides):
+    base = dict(workload="mcf", model="multipass", scale=1.0,
+                compile_options=CompileOptions(), config=MachineConfig(),
+                max_instructions=5_000_000, tree_digest=DIGEST)
+    base.update(overrides)
+    return cell_key(**base)
+
+
+#: field name -> strategy of *non-default* values for that field.
+_COMPILE_MUTATIONS = {
+    "if_conversion": st.just(True),
+    "reorder": st.just(False),
+    "restarts": st.just(False),
+    "dominance_ratio": st.floats(0.1, 64.0).filter(lambda v: v != 2.0),
+    "ports": st.integers(1, 5).map(lambda w: PortModel(width=w)),
+}
+
+_MACHINE_INT_FIELDS = [
+    f.name for f in dataclasses.fields(MachineConfig)
+    if f.type == "int" or isinstance(getattr(MachineConfig(), f.name), int)
+]
+
+
+class TestCacheKey:
+    def test_stable_across_fresh_instances(self):
+        assert _key() == _key()
+        assert _key(compile_options=CompileOptions(),
+                    config=MachineConfig()) == _key()
+
+    @given(st.sampled_from(sorted(_COMPILE_MUTATIONS)), st.data())
+    def test_any_compile_option_field_changes_the_key(self, name, data):
+        value = data.draw(_COMPILE_MUTATIONS[name])
+        mutated = dataclasses.replace(CompileOptions(), **{name: value})
+        assert _key(compile_options=mutated) != _key()
+        assert fingerprint(mutated) != fingerprint(CompileOptions())
+
+    @given(st.sampled_from(sorted(_MACHINE_INT_FIELDS)),
+           st.integers(1, 10_000))
+    def test_any_machine_int_field_changes_the_key(self, name, value):
+        default = getattr(MachineConfig(), name)
+        if isinstance(default, bool):
+            value = not default
+        elif value == default:
+            value = default + 1
+        mutated = dataclasses.replace(MachineConfig(), **{name: value})
+        assert _key(config=mutated) != _key()
+
+    def test_machine_name_and_hierarchy_change_the_key(self):
+        renamed = dataclasses.replace(MachineConfig(), name="other")
+        assert _key(config=renamed) != _key()
+        from repro.memory.configs import HIERARCHIES
+        rehoused = MachineConfig().with_hierarchy(HIERARCHIES["config1"]())
+        assert _key(config=rehoused) != _key()
+
+    @given(st.sampled_from(["workload", "model"]), st.text(min_size=1))
+    def test_identity_fields_change_the_key(self, field, value):
+        base = dict(workload="mcf", model="multipass")
+        if value == base[field]:
+            value += "x"
+        assert _key(**{field: value}) != _key()
+
+    def test_scale_budget_and_digest_change_the_key(self):
+        assert _key(scale=0.5) != _key()
+        assert _key(max_instructions=1_000) != _key()
+        assert _key(tree_digest="other-digest") != _key()
+
+    @given(st.floats(0.01, 100.0))
+    def test_equal_scales_collide_unequal_do_not(self, scale):
+        assert _key(scale=scale) == _key(scale=scale)
+        if scale != 1.0:
+            assert _key(scale=scale) != _key()
+
+    def test_canonical_rejects_unfingerprintable_types(self):
+        with pytest.raises(TypeError):
+            canonical(object())
+
+
+# --- ResultStore persistence invariants ------------------------------
+
+_SEQS = st.integers(0, 63)
+
+_OPS = st.one_of(
+    st.tuples(st.just("put"), _SEQS, st.integers(0, 1000)),
+    st.tuples(st.just("get"), _SEQS, st.none()),
+    st.tuples(st.just("pop"), _SEQS, st.none()),
+    st.tuples(st.just("discard"), _SEQS, st.none()),
+    st.tuples(st.just("clear_from"), _SEQS, st.none()),
+)
+
+
+class TestResultStoreProperties:
+    @settings(max_examples=60)
+    @given(st.lists(_OPS, max_size=120))
+    def test_random_program_matches_mapping_model(self, ops):
+        store = ResultStore(capacity=256)
+        model = {}
+        for op, seq, arg in ops:
+            if op == "put":
+                entry = RSEntry(seq, ready=arg)
+                store.put(entry)
+                model[seq] = entry
+            elif op == "get":
+                got = store.get(seq)
+                assert got is model.get(seq)
+                if got is not None:
+                    assert got.seq == seq
+            elif op == "pop":
+                assert store.pop(seq) is model.pop(seq, None)
+            elif op == "discard":
+                store.discard(seq)
+                model.pop(seq, None)
+            else:  # clear_from: flush at/beyond seq, count the victims
+                expected = {s for s in model if s >= seq}
+                assert store.clear_from(seq) == len(expected)
+                for s in expected:
+                    del model[s]
+            # Invariants checked after every op.
+            assert len(store) == len(model)
+            assert store.max_seq() == max(model, default=-1)
+            for s in model:
+                assert s in store
+        for s, entry in model.items():
+            assert store.peek(s) is entry
+
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(_SEQS, st.integers(0, 100)), min_size=1))
+    def test_put_overwrites_latest_pass_wins(self, puts):
+        store = ResultStore()
+        for seq, ready in puts:
+            store.put(RSEntry(seq, ready=ready))
+        assert store.writes == len(puts)
+        latest = {}
+        for seq, ready in puts:
+            latest[seq] = ready
+        for seq, ready in latest.items():
+            assert store.peek(seq).ready == ready
+
+    @given(st.lists(_SEQS, unique=True, min_size=1), st.integers(0, 63))
+    def test_clear_from_is_a_prefix_filter(self, seqs, cut):
+        store = ResultStore()
+        for seq in seqs:
+            store.put(RSEntry(seq, ready=0))
+        store.clear_from(cut)
+        assert store.max_seq() < cut  # -1 when emptied
+        for seq in seqs:
+            assert (seq in store) == (seq < cut)
