@@ -54,6 +54,26 @@ python -m repro sweep --smoke --results-cache "$smoke_cache" \
     || failures=$((failures + 1))
 rm -rf "$smoke_cache"
 
+step "repro trace / profile (telemetry round-trip)"
+trace_dir="$(mktemp -d)"
+# The Chrome export must be loadable trace-event JSON with mode spans
+# (what Perfetto renders as the mode track).
+python -m repro trace mcf --model multipass --scale 0.05 \
+    --format chrome --out "$trace_dir/mcf.json" \
+    || failures=$((failures + 1))
+python - "$trace_dir/mcf.json" <<'EOF' || failures=$((failures + 1))
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+modes = [e for e in events if e.get("cat") == "mode" and e["ph"] == "X"]
+assert modes, "no mode spans in the Chrome trace"
+assert any(e["ph"] == "X" and e.get("cat") == "stall" for e in events)
+print(f"chrome trace ok: {len(events)} events, {len(modes)} mode spans")
+EOF
+python -m repro profile mcf --scale 0.05 --top 5 >/dev/null \
+    || failures=$((failures + 1))
+rm -rf "$trace_dir"
+
 echo
 if [ "$failures" -ne 0 ]; then
     echo "check.sh: $failures step(s) FAILED"

@@ -3,11 +3,17 @@
 Commands:
 
 * ``simulate`` — run one workload through one or more timing models
-  (``--check`` enables runtime invariant checking; ``--parallel`` /
-  ``--results-cache`` route through the sharded experiment engine).
+  (``--check`` enables runtime invariant checking; ``--json`` emits a
+  machine-readable report; ``--parallel`` / ``--results-cache`` route
+  through the sharded experiment engine).
 * ``sweep``    — run a (models x workloads) cell grid through the
   parallel engine with fault handling and the on-disk result cache
   (``--smoke`` is the fast end-to-end variant used by check.sh).
+* ``trace``    — run one (workload, model) cell with cycle-level event
+  tracing and export it as JSONL, a Chrome/Perfetto trace, or a
+  Konata-style text pipeline view.
+* ``profile``  — stall-attribution profile: which static instructions
+  the stalled cycles are charged to, per category, across models.
 * ``cache``    — inspect (``stats``) or empty (``clear``) a result
   cache directory.
 * ``compare``  — race all primary models on one workload.
@@ -65,22 +71,44 @@ def _cmd_simulate(args) -> int:
         matrix = run_matrix(args.models, (args.workload,),
                             scale=args.scale, parallel=args.parallel,
                             results_cache=args.results_cache)
+        results = [matrix.get(args.workload, m) for m in args.models]
+        if args.json:
+            _print_simulate_json(args, results)
+            return 0
         print(f"{args.workload} (scale {args.scale})\n")
-        for model in args.models:
-            print(matrix.get(args.workload, model).summary())
+        for stats in results:
+            print(stats.summary())
             print()
         return 0
     cache = TraceCache(args.scale)
     trace = cache.trace(args.workload)
+    results = [run_model(model, trace, check=args.check)
+               for model in args.models]
+    if args.json:
+        _print_simulate_json(args, results,
+                             instructions=len(trace))
+        return 0
     print(f"{args.workload}: {len(trace)} dynamic instructions "
           f"(scale {args.scale})\n")
-    for model in args.models:
-        stats = run_model(model, trace, check=args.check)
+    for stats in results:
         print(stats.summary())
         print()
     if args.check:
         print("runtime invariant checks passed for all models")
     return 0
+
+
+def _print_simulate_json(args, results, instructions=None) -> None:
+    import json
+
+    doc = {
+        "workload": args.workload,
+        "scale": args.scale,
+        "results": [stats.to_dict() for stats in results],
+    }
+    if instructions is not None:
+        doc["dynamic_instructions"] = instructions
+    print(json.dumps(doc, indent=2, sort_keys=True))
 
 
 def _cmd_sweep(args) -> int:
@@ -103,19 +131,38 @@ def _cmd_sweep(args) -> int:
 
     report = sweep(models, workloads, scale=scale, jobs=jobs,
                    results_cache=args.results_cache,
-                   timeout=args.timeout)
+                   timeout=args.timeout, telemetry=args.telemetry)
     matrix = report.matrix
+    # Failed cells show the exception class in place of a cycle count.
+    failed = {(f.workload, f.model):
+              (f.error or "FAILED").split(":", 1)[0]
+              for f in report.failures}
     header = f"{'workload':>9}" + "".join(f" {m:>14}" for m in models)
     print(f"cycles per (workload, model) cell at scale {scale}")
     print(header)
-    for workload in matrix.workloads():
-        cells = "".join(
-            f" {matrix.get(workload, m).cycles:>14}"
-            if (workload, m) in matrix.results else f" {'FAILED':>14}"
-            for m in models)
+    rows = sorted({w for w, _ in matrix.results} | {w for w, _ in failed})
+    for workload in rows:
+        cells = ""
+        for m in models:
+            if (workload, m) in matrix.results:
+                cells += f" {matrix.get(workload, m).cycles:>14}"
+            else:
+                label = failed.get((workload, m), "FAILED")[:14]
+                cells += f" {label:>14}"
         print(f"{workload:>9}{cells}")
     print()
     print(report.summary())
+    if args.telemetry and report.telemetry:
+        print(f"\ntelemetry summaries collected for "
+              f"{len(report.telemetry)} cell(s):")
+        for (workload, model), summary in sorted(report.telemetry.items()):
+            counters = summary.get("counters", {})
+            stalls = {k.split(".", 1)[1]: v for k, v in counters.items()
+                      if k.startswith("stall_cycles.")}
+            worst = max(stalls, key=stalls.get) if stalls else "-"
+            print(f"  {workload}/{model}: last cycle "
+                  f"{summary.get('last_cycle', 0)}, "
+                  f"dominant stall {worst}")
     return 0 if report.ok else 1
 
 
@@ -185,6 +232,58 @@ def _cmd_diffcheck(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_trace(args) -> int:
+    from .telemetry import (JsonlSink, RingBufferSink, TelemetrySink,
+                            Tracer, render_pipeview, write_chrome_trace)
+
+    cache = TraceCache(args.scale)
+    trace = cache.trace(args.workload)
+    out = open(args.out, "w") if args.out else sys.stdout
+    try:
+        if args.format == "jsonl":
+            sink = JsonlSink(out, limit=args.max_events)
+            run_model(args.model, trace, tracer=Tracer(sink))
+            sink.close()
+            if sink.suppressed:
+                print(f"trace: wrote {sink.emitted} event(s); "
+                      f"{sink.suppressed} over --max-events suppressed",
+                      file=sys.stderr)
+        else:
+            sink = (RingBufferSink(args.max_events)
+                    if args.max_events else TelemetrySink())
+            run_model(args.model, trace, tracer=Tracer(sink))
+            sink.close()
+            if getattr(sink, "dropped", 0):
+                print(f"trace: ring buffer kept the last "
+                      f"{len(sink.events)} event(s), dropped "
+                      f"{sink.dropped} older", file=sys.stderr)
+            if args.format == "chrome":
+                write_chrome_trace(sink.events, out, model=args.model,
+                                   workload=args.workload)
+            else:
+                out.write(render_pipeview(sink.events, trace))
+    finally:
+        if out is not sys.stdout:
+            out.close()
+            print(f"trace: {args.format} written to {args.out}",
+                  file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .telemetry import profile_model, render_profile
+
+    models = args.models
+    if args.all_models:
+        models = list(MODEL_FACTORIES)
+    models = models or ["inorder", "multipass"]
+    cache = TraceCache(args.scale)
+    trace = cache.trace(args.workload)
+    results = [profile_model(model, trace) for model in models]
+    print(render_profile(results, trace, top=args.top), end="")
+    return 0
+
+
 def _cmd_compare(args) -> int:
     cache = TraceCache(args.scale)
     trace = cache.trace(args.workload)
@@ -232,8 +331,43 @@ def main(argv=None) -> int:
     sim.add_argument("--scale", type=float, default=0.25)
     sim.add_argument("--check", action="store_true",
                      help="enable runtime invariant checking")
+    sim.add_argument("--json", action="store_true",
+                     help="emit a machine-readable JSON report instead "
+                          "of the text summary")
     _add_engine_flags(sim)
     sim.set_defaults(fn=_cmd_simulate)
+
+    trc = sub.add_parser("trace")
+    trc.add_argument("workload", choices=ALL_WORKLOADS)
+    trc.add_argument("--model", default="multipass",
+                     choices=sorted({**MODEL_FACTORIES,
+                                     **ABLATION_FACTORIES}))
+    trc.add_argument("--scale", type=float, default=0.05)
+    trc.add_argument("--format", default="jsonl",
+                     choices=("jsonl", "chrome", "pipeview"),
+                     help="jsonl: one event per line; chrome: "
+                          "Perfetto/chrome://tracing JSON; pipeview: "
+                          "Konata-style text pipeline diagram")
+    trc.add_argument("--out", metavar="FILE", default=None,
+                     help="output file (default: stdout)")
+    trc.add_argument("--max-events", type=int, default=None,
+                     help="bound the exported event count (jsonl keeps "
+                          "the first N, chrome/pipeview the last N)")
+    trc.set_defaults(fn=_cmd_trace)
+
+    prof = sub.add_parser("profile")
+    prof.add_argument("workload", choices=ALL_WORKLOADS)
+    prof.add_argument("--models", nargs="+",
+                      choices=sorted({**MODEL_FACTORIES,
+                                      **ABLATION_FACTORIES}),
+                      help="models to profile (default: inorder "
+                           "multipass)")
+    prof.add_argument("--all-models", action="store_true",
+                      help="profile every primary model")
+    prof.add_argument("--top", type=int, default=10,
+                      help="static sites listed per stall category")
+    prof.add_argument("--scale", type=float, default=0.25)
+    prof.set_defaults(fn=_cmd_profile)
 
     swp = sub.add_parser("sweep")
     swp.add_argument("--models", nargs="+",
@@ -249,6 +383,9 @@ def main(argv=None) -> int:
     swp.add_argument("--smoke", action="store_true",
                      help="fast two-workload, two-model sweep at scale "
                           "0.05 with 2 workers (check.sh target)")
+    swp.add_argument("--telemetry", action="store_true",
+                     help="collect aggregated telemetry per simulated "
+                          "cell (skips result-cache reads)")
     _add_engine_flags(swp)
     swp.set_defaults(fn=_cmd_sweep)
 

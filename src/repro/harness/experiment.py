@@ -66,20 +66,27 @@ class TraceCache:
 
 def make_model(model: str, trace: Trace,
                config: Optional[MachineConfig] = None,
-               check: bool = False):
-    """Instantiate one named model (including ablations) over a trace."""
+               check: bool = False, tracer=None):
+    """Instantiate one named model (including ablations) over a trace.
+
+    ``tracer`` attaches a :class:`~repro.telemetry.events.Tracer` for
+    cycle-level event tracing; the default (off) costs one attribute
+    check per instrumentation site and leaves stats bit-identical.
+    """
     factories = {**MODEL_FACTORIES, **ABLATION_FACTORIES}
     if model not in factories:
         raise KeyError(f"unknown model {model!r}; "
                        f"available: {sorted(factories)}")
-    return factories[model](trace, config or MachineConfig(), check=check)
+    return factories[model](trace, config or MachineConfig(), check=check,
+                            tracer=tracer)
 
 
 def run_model(model: str, trace: Trace,
               config: Optional[MachineConfig] = None,
-              check: bool = False) -> SimStats:
+              check: bool = False, tracer=None) -> SimStats:
     """Run one named model (including ablations) over a prepared trace."""
-    return make_model(model, trace, config, check=check).run()
+    return make_model(model, trace, config, check=check,
+                      tracer=tracer).run()
 
 
 @dataclass

@@ -78,6 +78,11 @@ class CellSpec:
     compile_options: CompileOptions = field(default_factory=CompileOptions)
     config: MachineConfig = field(default_factory=MachineConfig)
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
+    #: Collect an aggregated telemetry summary for this cell (a
+    #: :meth:`~repro.telemetry.metrics.MetricsSink.summary` dict).
+    #: Never part of the result-cache key: tracing does not change
+    #: stats, so cached entries stay valid either way.
+    telemetry: bool = False
 
 
 @dataclass
@@ -91,6 +96,8 @@ class CellResult:
     attempts: int = 1
     duration: float = 0.0
     cached: bool = False
+    #: Aggregated telemetry summary (when the cell's spec asked for one).
+    telemetry: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -123,8 +130,21 @@ def _worker_trace(spec: CellSpec):
 
 
 def simulate_cell(spec: CellSpec) -> SimStats:
-    """The production cell runner: build/reuse the trace, run the model."""
-    return run_model(spec.model, _worker_trace(spec), spec.config)
+    """The production cell runner: build/reuse the trace, run the model.
+
+    With ``spec.telemetry`` set, the run is traced into an aggregating
+    :class:`~repro.telemetry.metrics.MetricsSink` (bounded memory, no
+    event storage) and a ``(stats, summary)`` tuple is returned; the
+    stats themselves are bit-identical to an untraced run.
+    """
+    trace = _worker_trace(spec)
+    if not spec.telemetry:
+        return run_model(spec.model, trace, spec.config)
+    from ..telemetry import MetricsSink, Tracer
+
+    sink = MetricsSink()
+    stats = run_model(spec.model, trace, spec.config, tracer=Tracer(sink))
+    return stats, sink.summary()
 
 
 def _raise_timeout(signum, frame):
@@ -144,9 +164,15 @@ def _execute_cell(spec: CellSpec, runner: Callable[[CellSpec], SimStats],
         if arm:
             previous = signal.signal(signal.SIGALRM, _raise_timeout)
             signal.setitimer(signal.ITIMER_REAL, timeout)
-        stats = runner(spec)
+        outcome = runner(spec)
+        # Telemetry-collecting runners return (stats, summary).
+        if isinstance(outcome, tuple):
+            stats, telemetry = outcome
+        else:
+            stats, telemetry = outcome, None
         return CellResult(spec.workload, spec.model, stats=stats,
-                          duration=time.perf_counter() - start)
+                          duration=time.perf_counter() - start,
+                          telemetry=telemetry)
     except CellTimeout:
         return CellResult(spec.workload, spec.model,
                           error=f"timed out after {timeout:g}s",
@@ -207,6 +233,10 @@ class SweepReport:
     cache_stores: int = 0
     jobs: int = 1
     elapsed: float = 0.0
+    #: (workload, model) -> aggregated telemetry summary dict, for the
+    #: cells that were simulated with ``telemetry=True``.  Cells served
+    #: from the result cache carry no summary (stats only are cached).
+    telemetry: Dict[Tuple[str, str], dict] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -240,12 +270,19 @@ def sweep(models: Sequence[str],
           results_cache: Union[None, str, ResultsCache] = None,
           timeout: Optional[float] = None,
           retries: int = 1,
-          runner: Optional[Callable[[CellSpec], SimStats]] = None
+          runner: Optional[Callable[[CellSpec], SimStats]] = None,
+          telemetry: bool = False
           ) -> SweepReport:
     """Run the full cell grid; always returns a report, never hangs.
 
     Failed cells (after ``retries`` extra attempts each) appear in
     ``report.failures`` and are absent from ``report.matrix``.
+
+    ``telemetry=True`` traces every simulated cell into an aggregating
+    metrics sink and records the per-cell summaries in
+    ``report.telemetry``.  Summaries require a live simulation, so
+    telemetry sweeps skip result-cache *reads* (fresh results are still
+    stored); stats remain bit-identical, keeping the cache safe.
     """
     start = time.perf_counter()
     # Resolved at call time so tests can swap the module-level default.
@@ -256,7 +293,7 @@ def sweep(models: Sequence[str],
     compile_options = compile_options or CompileOptions()
 
     specs = [CellSpec(workload, model, scale, compile_options, config,
-                      max_instructions)
+                      max_instructions, telemetry=telemetry)
              for workload in workloads for model in models]
     matrix = Matrix(scale=scale)
     report = SweepReport(matrix=matrix, cells=len(specs), jobs=jobs)
@@ -269,11 +306,12 @@ def sweep(models: Sequence[str],
             keys[cell] = store.key_for(spec.workload, spec.model,
                                        spec.scale, spec.compile_options,
                                        spec.config, spec.max_instructions)
-            stats = store.get(keys[cell])
-            if stats is not None:
-                matrix.results[cell] = stats
-                report.cache_hits += 1
-                continue
+            if not telemetry:
+                stats = store.get(keys[cell])
+                if stats is not None:
+                    matrix.results[cell] = stats
+                    report.cache_hits += 1
+                    continue
         outstanding.append(spec)
 
     results: Dict[Tuple[str, str], CellResult] = {}
@@ -294,6 +332,8 @@ def sweep(models: Sequence[str],
         if result.ok:
             matrix.results[cell] = result.stats
             report.simulated += 1
+            if result.telemetry is not None:
+                report.telemetry[cell] = result.telemetry
             if store is not None:
                 store.put(keys[cell], result.stats)
                 report.cache_stores += 1

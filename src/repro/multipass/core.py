@@ -58,10 +58,10 @@ class MultipassCore(BaseCore):
                  hw_restart_window: int = 16,
                  hw_restart_fraction: float = 0.125,
                  record_modes: bool = False,
-                 check: bool = False):
+                 check: bool = False, tracer=None):
         config = config or MachineConfig()
         super().__init__(trace, config, config.multipass_queue_size,
-                         check=check)
+                         check=check, tracer=tracer)
         self.enable_regroup = enable_regroup
         self.enable_restart = enable_restart
         self.persist_results = persist_results
@@ -195,6 +195,9 @@ class MultipassCore(BaseCore):
                          - self.config.advance_restart_refill)
         self.adv_stall_until = refill
         self.stats.counters["advance_restarts"] += 1
+        if self.tracer.enabled:
+            trigger = self.trace.entries[self.trigger_seq]
+            self.tracer.restart(now, trigger.seq, trigger.inst.index)
 
     def _enter_rally(self, now: int) -> None:
         """The trigger operand arrived: resume the architectural stream.
@@ -248,6 +251,7 @@ class MultipassCore(BaseCore):
             return 0
         entries = self.trace.entries
         frontend = self.frontend
+        tel = self.tracer if self.tracer.enabled else None
         tracker = self.config.ports.new_tracker()
         window_end = min(len(entries), frontend.fetched_until,
                          self.arch_ptr + self.buffer_size)
@@ -277,6 +281,8 @@ class MultipassCore(BaseCore):
                     self.adv_reg[dest] = now
                     self.poison.discard(dest)
                 self.stats.counters["advance_merges"] += 1
+                if tel is not None:
+                    tel.rs_hit(now, seq, entry.inst.index, mode="advance")
                 self.adv_ptr += 1
                 slots += 1
                 continue
@@ -383,6 +389,8 @@ class MultipassCore(BaseCore):
         inst = entry.inst
         seq = entry.seq
         self.stats.counters["advance_executions"] += 1
+        if self.tracer.enabled:
+            self.tracer.issue(now, seq, inst.index, mode="advance")
 
         if not entry.executed:
             # Predicate-nullified: flows through, nothing to preserve.
@@ -450,6 +458,9 @@ class MultipassCore(BaseCore):
         outcome, _forwarded = self.asc.read(addr)
         result = self.hierarchy.access(addr, now)   # prefetch effect
         self.stats.counters["advance_loads"] += 1
+        if result.l1_miss and self.tracer.enabled:
+            self.tracer.cache_miss(now, entry.seq, entry.inst.index,
+                                   result.level)
 
         if outcome == HIT:
             for dest in entry.dests:
@@ -512,6 +523,7 @@ class MultipassCore(BaseCore):
         """
         entries = self.trace.entries
         frontend = self.frontend
+        tel = self.tracer if self.tracer.enabled else None
         tracker = self.config.ports.new_tracker()
         width = self.config.ports.width
         issued = 0
@@ -586,6 +598,9 @@ class MultipassCore(BaseCore):
                     self.stats.counters["loads_issued"] += 1
                     if l1_miss:
                         self.stats.counters["l1d_load_misses"] += 1
+                        if tel is not None:
+                            tel.cache_miss(now, seq, inst.index,
+                                           result.level)
                 else:
                     self.hierarchy.access(entry.addr, now, kind="store")
                     self.mem_vals[entry.addr] = entry.value
@@ -600,7 +615,9 @@ class MultipassCore(BaseCore):
             tracker.issue(fu)
             self.writeback(entry, now, latency, l1_miss)
             self.stats.instructions += 1
-            self.commit_entry(entry)
+            if tel is not None:
+                tel.issue(now, seq, inst.index)
+            self.commit_entry(entry, now)
             issued += 1
             self.arch_ptr += 1
             if entry.is_branch:
@@ -626,7 +643,10 @@ class MultipassCore(BaseCore):
         self.rs.pop(entry.seq)
         self.stats.counters["rally_merges"] += 1
         self.stats.instructions += 1
-        self.commit_entry(entry)
+        if self.tracer.enabled:
+            self.tracer.rs_hit(now, entry.seq, entry.inst.index,
+                               mode="rally")
+        self.commit_entry(entry, now)
         for dest in entry.dests:
             self.reg_ready[dest] = now
             self.load_miss_pending.pop(dest, None)
@@ -655,15 +675,18 @@ class MultipassCore(BaseCore):
         self.stats.counters["sbit_verifications"] += 1
         self.stats.counters["smaq_reads"] += 1
         result = self.hierarchy.access(rs_entry.addr, now)
+        if result.l1_miss and self.tracer.enabled:
+            self.tracer.cache_miss(now, entry.seq, entry.inst.index,
+                                   result.level)
         if rs_entry.value == entry.value:
             self.stats.instructions += 1
-            self.commit_entry(entry)
+            self.commit_entry(entry, now)
             self.writeback(entry, now, result.latency, result.l1_miss)
             return False
         # Mismatch: squash everything younger and re-execute it.
         self.stats.counters["value_flushes"] += 1
         self.stats.instructions += 1
-        self.commit_entry(entry)
+        self.commit_entry(entry, now)
         self.writeback(entry, now, result.latency, result.l1_miss)
         self.rs.clear_from(entry.seq + 1)
         self.max_peek = min(self.max_peek, entry.seq + 1)
@@ -682,6 +705,7 @@ class MultipassCore(BaseCore):
         entries = self.trace.entries
         n = len(entries)
         frontend = self.frontend
+        tel = self.tracer if self.tracer.enabled else None
         now = 0
 
         while self.arch_ptr < n:
@@ -697,6 +721,8 @@ class MultipassCore(BaseCore):
             if self.record_modes:
                 self.mode_log.append((now, self.mode, self.arch_ptr,
                                       self.adv_ptr))
+            if tel is not None:
+                tel.mode(now, self.mode.value)
 
             if self.mode is Mode.ADVANCE:
                 new_execs = self._issue_advance_cycle(now)
@@ -708,16 +734,26 @@ class MultipassCore(BaseCore):
                 self.max_peek = max(self.max_peek, self.adv_ptr)
                 if new_execs:
                     self.stats.charge(StallCategory.EXECUTION)
+                    if tel is not None:
+                        tel.charge(now, StallCategory.EXECUTION)
                 else:
                     # No new executions: the cycle belongs to the latency
                     # that initiated advance mode.
                     self.stats.charge(StallCategory.LOAD)
+                    if tel is not None:
+                        # Attributed to the load that triggered advance
+                        # mode — the same charging rule as the stats.
+                        trig = entries[self.trigger_seq]
+                        tel.charge(now, StallCategory.LOAD,
+                                   seq=trig.seq, pc=trig.inst.index)
                 self.stats.counters["advance_cycles"] += 1
                 now += 1
                 continue
 
             if now < self.arch_stall_until:
                 self.stats.charge(StallCategory.OTHER)
+                if tel is not None:
+                    tel.charge(now, StallCategory.OTHER)
                 now += 1
                 continue
 
@@ -730,10 +766,22 @@ class MultipassCore(BaseCore):
 
             if issued:
                 self.stats.charge(StallCategory.EXECUTION)
+                if tel is not None:
+                    tel.charge(now, StallCategory.EXECUTION)
             elif self.arch_ptr >= frontend.fetched_until:
                 self.stats.charge(StallCategory.FRONT_END)
+                if tel is not None:
+                    blocked = entries[self.arch_ptr] \
+                        if self.arch_ptr < n else None
+                    tel.charge(now, StallCategory.FRONT_END,
+                               seq=blocked.seq if blocked else -1,
+                               pc=blocked.inst.index if blocked else -1)
             else:
                 self.stats.charge(reason or StallCategory.OTHER)
+                if tel is not None:
+                    blocked = entries[self.arch_ptr]
+                    tel.charge(now, reason or StallCategory.OTHER,
+                               seq=blocked.seq, pc=blocked.inst.index)
             now += 1
 
             if trigger is not None and wait_until > now:

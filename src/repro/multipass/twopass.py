@@ -33,10 +33,11 @@ class TwoPassCore(MultipassCore):
 
     def __init__(self, trace: Trace,
                  config: Optional[MachineConfig] = None,
-                 check: bool = False):
+                 check: bool = False, tracer=None):
         super().__init__(trace, config, enable_regroup=True,
                          enable_restart=False, persist_results=True,
-                         hardware_restart=False, check=check)
+                         hardware_restart=False, check=check,
+                         tracer=tracer)
 
 
 def simulate_twopass(trace: Trace,

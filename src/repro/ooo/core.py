@@ -65,7 +65,7 @@ class OutOfOrderCore(BaseCore):
 
     def __init__(self, trace: Trace, config: Optional[MachineConfig] = None,
                  decentralized_queues: Optional[int] = None,
-                 ideal: bool = True, check: bool = False):
+                 ideal: bool = True, check: bool = False, tracer=None):
         config = config or MachineConfig()
         # The deeper OOO pipe pays its extra stages on every refill.
         config = replace(
@@ -73,7 +73,8 @@ class OutOfOrderCore(BaseCore):
             mispredict_penalty=(config.mispredict_penalty
                                 + config.ooo_extra_stages),
         )
-        super().__init__(trace, config, config.ooo_rob, check=check)
+        super().__init__(trace, config, config.ooo_rob, check=check,
+                         tracer=tracer)
         self.decentralized_queues = decentralized_queues
         #: The Section 5.1 idealizations: the ideal model performs
         #: scheduling and register-file read in the REG stage (no
@@ -100,6 +101,7 @@ class OutOfOrderCore(BaseCore):
         rob_capacity = config.ooo_rob
         width = config.ports.width
 
+        tel = self.tracer if self.tracer.enabled else None
         rob: List[_RobEntry] = []         # in seq order
         waiting: List[_RobEntry] = []     # un-issued entries, in seq order
         value_ready: Dict[int, int] = {}  # seq -> result-available cycle
@@ -202,8 +204,14 @@ class OutOfOrderCore(BaseCore):
                         self.stats.counters["loads_issued"] += 1
                         if result.l1_miss:
                             self.stats.counters["l1d_load_misses"] += 1
+                            if tel is not None:
+                                tel.cache_miss(now, entry.seq,
+                                               entry.inst.index,
+                                               result.level)
                     else:
                         self.hierarchy.access(entry.addr, now, kind="store")
+                if tel is not None:
+                    tel.issue(now, entry.seq, entry.inst.index)
                 rob_entry.issued = True
                 rob_entry.ready = now + latency
                 value_ready[entry.seq] = rob_entry.ready + self.wakeup_delay
@@ -242,26 +250,42 @@ class OutOfOrderCore(BaseCore):
                 del rob[0]
                 commit_ptr = head.seq + 1
                 self.stats.instructions += 1
-                self.commit_entry(head.entry)
+                self.commit_entry(head.entry, now)
                 committed += 1
 
             # ---- attribution -------------------------------------------
             if issued:
                 self.stats.charge(StallCategory.EXECUTION)
+                if tel is not None:
+                    tel.charge(now, StallCategory.EXECUTION)
             elif not rob:
                 self.stats.charge(StallCategory.FRONT_END)
+                if tel is not None:
+                    blocked = entries[dispatch_ptr] \
+                        if dispatch_ptr < n else None
+                    tel.charge(now, StallCategory.FRONT_END,
+                               seq=blocked.seq if blocked else -1,
+                               pc=blocked.inst.index if blocked else -1)
             else:
-                self.stats.charge(self._oldest_stall_cause(rob, now,
-                                                           value_ready))
+                cause = self._oldest_stall_cause(rob, now, value_ready)
+                self.stats.charge(cause)
+                if tel is not None:
+                    head = rob[0]
+                    tel.charge(now, cause, seq=head.seq,
+                               pc=head.entry.inst.index)
             now += 1
 
             # ---- idle fast-forward --------------------------------------
             if not issued and not committed and not dispatched and rob:
                 wake = self._next_event(rob, frontend, dispatch_ptr, n, now)
                 if wake > now:
-                    self.stats.charge(
-                        self._oldest_stall_cause(rob, now, value_ready),
-                        wake - now)
+                    cause = self._oldest_stall_cause(rob, now, value_ready)
+                    self.stats.charge(cause, wake - now)
+                    if tel is not None:
+                        head = rob[0]
+                        tel.charge(now, cause, seq=head.seq,
+                                   pc=head.entry.inst.index,
+                                   cycles=wake - now)
                     now = wake
 
         return self.finalize()
@@ -308,9 +332,9 @@ class IdealOOOCore(OutOfOrderCore):
 
     def __init__(self, trace: Trace,
                  config: Optional[MachineConfig] = None,
-                 check: bool = False):
+                 check: bool = False, tracer=None):
         super().__init__(trace, config, decentralized_queues=None,
-                         check=check)
+                         check=check, tracer=tracer)
 
 
 class RealisticOOOCore(OutOfOrderCore):
@@ -320,10 +344,11 @@ class RealisticOOOCore(OutOfOrderCore):
 
     def __init__(self, trace: Trace,
                  config: Optional[MachineConfig] = None,
-                 queue_entries: int = 16, check: bool = False):
+                 queue_entries: int = 16, check: bool = False,
+                 tracer=None):
         super().__init__(trace, config,
                          decentralized_queues=queue_entries, ideal=False,
-                         check=check)
+                         check=check, tracer=tracer)
 
 
 def simulate_ooo(trace: Trace, config: Optional[MachineConfig] = None

@@ -13,6 +13,7 @@ from ..branch.gshare import GsharePredictor
 from ..isa.opcodes import FUClass
 from ..isa.trace import Trace, TraceEntry
 from ..machine import MachineConfig
+from ..telemetry.events import NULL_TRACER
 from .frontend import FrontEnd
 from .stats import SimStats, StallCategory
 
@@ -27,14 +28,18 @@ class BaseCore:
     model_name = "base"
 
     def __init__(self, trace: Trace, config: MachineConfig,
-                 buffer_size: int, check: bool = False):
+                 buffer_size: int, check: bool = False, tracer=None):
         self.trace = trace
         self.config = config
         self.buffer_size = buffer_size
         self.hierarchy = config.hierarchy.build()
         self.predictor = GsharePredictor(config.branch_predictor_entries)
+        # Telemetry: a live Tracer, or the shared do-nothing NULL_TRACER
+        # whose ``enabled`` attribute is the only cost when tracing is
+        # off (stats are bit-identical either way — golden tests pin it).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.frontend = FrontEnd(trace, self.hierarchy, self.predictor,
-                                 config, buffer_size)
+                                 config, buffer_size, tracer=self.tracer)
         self.stats = SimStats(model=self.model_name,
                               workload=trace.program.name)
         # Architectural scoreboard: absolute ready cycle per register.
@@ -99,13 +104,16 @@ class BaseCore:
 
     # -- retirement ----------------------------------------------------------
 
-    def commit_entry(self, entry: TraceEntry) -> None:
+    def commit_entry(self, entry: TraceEntry, now: int = -1) -> None:
         """Hook called by every core at the moment an entry retires.
 
         Under ``check=True`` the entry is validated against independent
         functional re-execution (exactly-once, in-order, on the
-        architectural path); otherwise this is a no-op.
+        architectural path); under tracing a ``COMMIT`` event is
+        emitted; otherwise this is a no-op.
         """
+        if self.tracer.enabled:
+            self.tracer.commit(now, entry.seq, entry.inst.index)
         if self.replay is not None:
             self.replay.commit(entry)
 
@@ -117,4 +125,6 @@ class BaseCore:
         self.stats.counters["front_end_redirects"] = self.frontend.redirects
         if self.replay is not None:
             self.replay.finish()
+        if self.tracer.enabled:
+            self.tracer.finish(self.stats.cycles)
         return self.stats

@@ -13,6 +13,7 @@ from ..branch.gshare import GsharePredictor
 from ..isa.trace import Trace, TraceEntry
 from ..machine import MachineConfig
 from ..memory.hierarchy import MemoryHierarchy
+from ..telemetry.events import NULL_TRACER
 
 
 class FrontEnd:
@@ -20,12 +21,13 @@ class FrontEnd:
 
     def __init__(self, trace: Trace, hierarchy: MemoryHierarchy,
                  predictor: GsharePredictor, config: MachineConfig,
-                 buffer_size: int):
+                 buffer_size: int, tracer=None):
         self.trace = trace
         self.hierarchy = hierarchy
         self.predictor = predictor
         self.config = config
         self.buffer_size = buffer_size
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.fetched_until = 0        # exclusive trace index available
         self.stall_until = 0          # fetch blocked before this cycle
         self._line_size = hierarchy.config.l1i.line_size
@@ -69,6 +71,7 @@ class FrontEnd:
         n_trace = len(self.trace)
         limit = min(n_trace, consume_ptr + self.buffer_size)
         fetched = 0
+        tracer = self.tracer if self.tracer.enabled else None
         while fetched < self.config.fetch_width and self.fetched_until < limit:
             entry = self.trace[self.fetched_until]
             addr = entry.inst.index * self.config.instruction_bytes
@@ -80,6 +83,8 @@ class FrontEnd:
                     self.stall_until = result.ready
                     self.icache_stall_cycles += result.latency
                     return
+            if tracer is not None:
+                tracer.fetch(now, entry.seq, entry.inst.index)
             self.fetched_until += 1
             fetched += 1
 

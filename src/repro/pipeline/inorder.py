@@ -24,10 +24,10 @@ class InOrderCore(BaseCore):
     model_name = "inorder"
 
     def __init__(self, trace: Trace, config: Optional[MachineConfig] = None,
-                 check: bool = False):
+                 check: bool = False, tracer=None):
         config = config or MachineConfig()
         super().__init__(trace, config, config.inorder_buffer_size,
-                         check=check)
+                         check=check, tracer=tracer)
 
     def run(self, max_cycles: int = 500_000_000) -> SimStats:
         trace = self.trace
@@ -36,6 +36,7 @@ class InOrderCore(BaseCore):
         frontend = self.frontend
         tracker = self.config.ports.new_tracker()
         reg_ready = self.reg_ready
+        tel = self.tracer if self.tracer.enabled else None
         now = 0
         ptr = 0
 
@@ -74,6 +75,9 @@ class InOrderCore(BaseCore):
                         self.stats.counters["loads_issued"] += 1
                         if l1_miss:
                             self.stats.counters["l1d_load_misses"] += 1
+                            if tel is not None:
+                                tel.cache_miss(now, entry.seq, inst.index,
+                                               result.level)
                     else:
                         self.hierarchy.access(entry.addr, now, kind="store")
 
@@ -92,7 +96,9 @@ class InOrderCore(BaseCore):
                 tracker.issue(fu)
                 self.writeback(entry, now, latency, l1_miss)
                 self.stats.instructions += 1
-                self.commit_entry(entry)
+                if tel is not None:
+                    tel.issue(now, entry.seq, inst.index)
+                self.commit_entry(entry, now)
                 issued += 1
                 ptr += 1
                 if entry.is_branch:
@@ -104,10 +110,21 @@ class InOrderCore(BaseCore):
 
             if issued:
                 self.stats.charge(StallCategory.EXECUTION)
+                if tel is not None:
+                    tel.charge(now, StallCategory.EXECUTION)
             elif ptr >= frontend.fetched_until:
                 self.stats.charge(StallCategory.FRONT_END)
+                if tel is not None:
+                    blocked = entries[ptr] if ptr < n else None
+                    tel.charge(now, StallCategory.FRONT_END,
+                               seq=blocked.seq if blocked else -1,
+                               pc=blocked.inst.index if blocked else -1)
             else:
                 self.stats.charge(reason or StallCategory.OTHER)
+                if tel is not None:
+                    blocked = entries[ptr]
+                    tel.charge(now, reason or StallCategory.OTHER,
+                               seq=blocked.seq, pc=blocked.inst.index)
             now += 1
 
             # Fast-forward a long operand stall when nothing else can
@@ -124,6 +141,11 @@ class InOrderCore(BaseCore):
                         skip_to = now  # front end still fetching
                 if skip_to > now:
                     self.stats.charge(reason, skip_to - now)
+                    if tel is not None:
+                        blocked = entries[ptr]
+                        tel.charge(now, reason, seq=blocked.seq,
+                                   pc=blocked.inst.index,
+                                   cycles=skip_to - now)
                     now = skip_to
 
         return self.finalize()

@@ -80,6 +80,30 @@ class SimStats:
             raise ValueError("run has zero cycles")
         return baseline.cycles / self.cycles
 
+    def to_dict(self) -> dict:
+        """JSON-safe view of the run (``repro simulate --json``)."""
+        out = {
+            "model": self.model,
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "cycle_breakdown": {
+                category.value: count
+                for category, count in self.cycle_breakdown.items()
+            },
+            "counters": dict(sorted(self.counters.items())),
+            "branch_accuracy": self.branch_accuracy,
+        }
+        if self.memory is not None:
+            out["memory"] = {
+                "accesses": dict(sorted(self.memory.accesses.items())),
+                "misses": dict(sorted(self.memory.misses.items())),
+                "memory_accesses": self.memory.memory_accesses,
+                "mshr_merges": self.memory.mshr_merges,
+            }
+        return out
+
     def summary(self) -> str:
         parts = [f"{self.model}/{self.workload}: {self.cycles} cycles,"
                  f" IPC {self.ipc:.2f}"]

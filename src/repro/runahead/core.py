@@ -35,10 +35,10 @@ class RunaheadCore(MultipassCore):
 
     def __init__(self, trace: Trace,
                  config: Optional[MachineConfig] = None,
-                 check: bool = False):
+                 check: bool = False, tracer=None):
         super().__init__(trace, config, enable_regroup=False,
                          enable_restart=False, persist_results=False,
-                         check=check)
+                         check=check, tracer=tracer)
 
     def _enter_rally(self, now: int) -> None:
         """Exiting runahead restores the checkpointed state and refetches

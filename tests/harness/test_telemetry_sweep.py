@@ -1,0 +1,62 @@
+"""Telemetry threading through the parallel sweep engine."""
+
+from repro.harness import sweep
+from repro.harness.results_cache import ResultsCache
+
+MODELS = ["inorder", "multipass"]
+WORKLOADS = ["vpr"]
+SCALE = 0.05
+
+
+def test_sweep_collects_per_cell_summaries():
+    report = sweep(MODELS, WORKLOADS, scale=SCALE, jobs=1,
+                   telemetry=True)
+    assert report.ok
+    assert set(report.telemetry) == {("vpr", "inorder"),
+                                     ("vpr", "multipass")}
+    for cell, summary in report.telemetry.items():
+        assert summary["last_cycle"] > 0
+        assert summary["counters"]["events.commit"] > 0
+    mp = report.telemetry[("vpr", "multipass")]["counters"]
+    assert any(k.startswith("mode_cycles.") for k in mp)
+
+
+def test_telemetry_does_not_change_stats():
+    plain = sweep(MODELS, WORKLOADS, scale=SCALE, jobs=1)
+    traced = sweep(MODELS, WORKLOADS, scale=SCALE, jobs=1,
+                   telemetry=True)
+    for cell, stats in plain.matrix.results.items():
+        other = traced.matrix.results[cell]
+        assert (stats.cycles, stats.instructions,
+                stats.cycle_breakdown) == \
+            (other.cycles, other.instructions, other.cycle_breakdown)
+
+
+def test_telemetry_sweeps_bypass_cache_reads_but_still_store(tmp_path):
+    store = ResultsCache(tmp_path / "cache")
+    warm = sweep(MODELS, WORKLOADS, scale=SCALE, jobs=1,
+                 results_cache=store)
+    assert warm.cache_stores == len(MODELS)
+
+    traced = sweep(MODELS, WORKLOADS, scale=SCALE, jobs=1,
+                   results_cache=store, telemetry=True)
+    # A warm cache is ignored for reads: summaries need live runs.
+    assert traced.cache_hits == 0
+    assert traced.simulated == len(MODELS)
+    assert len(traced.telemetry) == len(MODELS)
+
+    # ...and the cache still serves an untraced sweep afterwards.
+    cold = sweep(MODELS, WORKLOADS, scale=SCALE, jobs=1,
+                 results_cache=store)
+    assert cold.cache_hits == len(MODELS)
+    assert cold.simulated == 0
+    assert cold.telemetry == {}
+
+
+def test_parallel_telemetry_summaries_cross_process():
+    report = sweep(MODELS, WORKLOADS, scale=SCALE, jobs=2,
+                   telemetry=True)
+    assert report.ok
+    assert len(report.telemetry) == len(MODELS)
+    for summary in report.telemetry.values():
+        assert summary["counters"]["events.commit"] > 0

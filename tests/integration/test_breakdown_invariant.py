@@ -1,0 +1,29 @@
+"""Figure-6 accounting invariant: the breakdown is a partition.
+
+Every cycle a core spends must be charged to exactly one of the four
+stall categories, so the per-category counts must sum to ``cycles`` —
+for every model on every workload.  A core that double-charges or
+leaks cycles corrupts Figure 6 silently; this pins the identity at
+smoke scale.
+"""
+
+import pytest
+
+from repro.harness import MODEL_FACTORIES, TraceCache, run_model
+from repro.workloads import ALL_WORKLOADS
+
+SCALE = 0.05
+MODELS = sorted(MODEL_FACTORIES)
+
+_TRACES = TraceCache(SCALE)
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("workload", ALL_WORKLOADS)
+def test_cycle_breakdown_partitions_cycles(workload, model):
+    stats = run_model(model, _TRACES.trace(workload))
+    total = sum(stats.cycle_breakdown.values())
+    assert total == stats.cycles, (
+        f"{model}/{workload}: breakdown sums to {total}, "
+        f"cycles={stats.cycles}")
+    assert stats.instructions == len(_TRACES.trace(workload))

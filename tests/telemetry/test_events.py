@@ -1,0 +1,87 @@
+"""Tracer span bookkeeping and event serialization."""
+
+from repro.pipeline.stats import StallCategory
+from repro.telemetry import (NULL_TRACER, Event, EventKind, TelemetrySink,
+                             Tracer)
+
+
+def kinds(sink):
+    return [e.kind for e in sink.events]
+
+
+def test_event_to_dict_omits_inapplicable_fields():
+    event = Event(EventKind.FETCH, 3, seq=7, pc=2)
+    assert event.to_dict() == {"kind": "fetch", "cycle": 3, "seq": 7,
+                               "pc": 2}
+    span = Event(EventKind.STALL_END, 10, seq=1, pc=4,
+                 category=StallCategory.LOAD, cycles=6)
+    assert span.to_dict() == {"kind": "stall_end", "cycle": 10, "seq": 1,
+                              "pc": 4, "category": "load", "cycles": 6}
+
+
+def test_consecutive_same_site_charges_coalesce_into_one_span():
+    sink = TelemetrySink()
+    tracer = Tracer(sink)
+    for cycle in range(5, 9):
+        tracer.charge(cycle, StallCategory.LOAD, seq=2, pc=7)
+    tracer.charge(9, StallCategory.EXECUTION)
+    assert kinds(sink) == [EventKind.STALL_BEGIN, EventKind.STALL_END]
+    begin, end = sink.events
+    assert (begin.cycle, begin.pc) == (5, 7)
+    assert (end.cycle, end.cycles) == (9, 4)
+
+
+def test_category_or_pc_change_splits_the_span():
+    sink = TelemetrySink()
+    tracer = Tracer(sink)
+    tracer.charge(0, StallCategory.LOAD, pc=1)
+    tracer.charge(1, StallCategory.LOAD, pc=2)       # same cat, new pc
+    tracer.charge(2, StallCategory.OTHER, pc=2)      # new category
+    tracer.finish(3)
+    ends = [e for e in sink.events if e.kind is EventKind.STALL_END]
+    assert [(e.category, e.pc, e.cycles) for e in ends] == [
+        (StallCategory.LOAD, 1, 1),
+        (StallCategory.LOAD, 2, 1),
+        (StallCategory.OTHER, 2, 1),
+    ]
+
+
+def test_multi_cycle_charge_extends_span_by_its_length():
+    sink = TelemetrySink()
+    tracer = Tracer(sink)
+    tracer.charge(0, StallCategory.LOAD, pc=3, cycles=10)
+    tracer.finish(10)
+    end = sink.events[-1]
+    assert end.kind is EventKind.STALL_END
+    assert (end.cycle, end.cycles) == (10, 10)
+
+
+def test_mode_calls_dedup_into_spans():
+    sink = TelemetrySink()
+    tracer = Tracer(sink)
+    for cycle in range(0, 4):
+        tracer.mode(cycle, "architectural")
+    for cycle in range(4, 6):
+        tracer.mode(cycle, "advance")
+    tracer.finish(6)
+    modes = [e for e in sink.events if e.kind is EventKind.MODE]
+    assert [(e.mode, e.cycle, e.cycles) for e in modes] == [
+        ("architectural", 0, 4), ("advance", 4, 2)]
+
+
+def test_finish_is_idempotent_and_closes_open_spans():
+    sink = TelemetrySink()
+    tracer = Tracer(sink)
+    tracer.charge(0, StallCategory.FRONT_END, pc=0)
+    tracer.finish(1)
+    tracer.finish(1)
+    ends = [e for e in sink.events if e.kind is EventKind.STALL_END]
+    assert len(ends) == 1
+
+
+def test_null_tracer_is_disabled_and_inert():
+    assert NULL_TRACER.enabled is False
+    NULL_TRACER.fetch(0, 0, 0)
+    NULL_TRACER.charge(0, StallCategory.LOAD)
+    NULL_TRACER.mode(0, "advance")
+    NULL_TRACER.finish(0)

@@ -1,0 +1,51 @@
+"""Golden pipeline view for a tiny deterministic advance episode.
+
+The pipeview is the human-facing rendering of the multipass story —
+fetch marks running ahead under a miss, advance marks in the shadow,
+the rally merge-and-commit burst — so its exact shape is pinned the
+same way the golden stats are.  Regenerate deliberately with::
+
+    pytest tests/telemetry/test_golden_pipeview.py --update-golden
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.compiler import CompileOptions
+from repro.harness import run_model
+from repro.isa import R
+from repro.telemetry import TelemetrySink, Tracer, render_pipeview
+from tests.conftest import build_trace
+
+GOLDEN = (Path(__file__).resolve().parents[1] / "golden"
+          / "pipeview_multipass.txt")
+
+#: Deterministic layout: no reordering, no compiler restarts.
+NO_REORDER = CompileOptions(reorder=False, restarts=False)
+
+
+def kernel(b):
+    """One long L2/memory miss with independent work behind it."""
+    b.movi(R(1), 0x100000)
+    b.ld(R(2), R(1), 0)
+    b.add(R(3), R(2), R(2))        # trigger: consumes the miss
+    for i in range(4, 12):
+        b.movi(R(i), i)            # miss-shadow work, preexecutable
+    b.halt()
+
+
+def test_golden_pipeview(request):
+    trace = build_trace(kernel, name="pipeview", compile_opts=NO_REORDER)
+    sink = TelemetrySink()
+    run_model("multipass", trace, tracer=Tracer(sink))
+    view = render_pipeview(sink.events, trace)
+    if request.config.getoption("--update-golden"):
+        GOLDEN.write_text(view)
+        pytest.skip(f"regenerated {GOLDEN.name}")
+    assert GOLDEN.exists(), (
+        f"missing {GOLDEN}; generate it with "
+        "pytest tests/telemetry/test_golden_pipeview.py --update-golden")
+    assert view == GOLDEN.read_text(), (
+        "pipeview drifted from the golden rendering — rerun with "
+        "--update-golden only for deliberate timing/exporter changes")

@@ -1,0 +1,59 @@
+"""Tracing must be observation only: stats are bit-identical.
+
+The overhead contract in ``repro.telemetry.events`` promises that
+attaching a tracer changes nothing about the simulation; these tests
+pin it for every primary model, and pin the dual property that the
+traced stall spans reconcile *exactly* with the stats taxonomy.
+"""
+
+import pytest
+
+from repro.harness import MODEL_FACTORIES, TraceCache, run_model
+from repro.pipeline.stats import StallCategory
+from repro.telemetry import MetricsSink, StallProfileSink, TelemetrySink, \
+    Tracer
+
+MODELS = sorted(MODEL_FACTORIES)
+_TRACES = TraceCache(0.05)
+
+
+def _stats_key(stats):
+    return (stats.cycles, stats.instructions,
+            tuple(sorted((c.value, n)
+                         for c, n in stats.cycle_breakdown.items())),
+            tuple(sorted(stats.counters.items())),
+            stats.branch_accuracy)
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_traced_stats_bit_identical(model):
+    trace = _TRACES.trace("mcf")
+    plain = run_model(model, trace)
+    traced = run_model(model, trace, tracer=Tracer(TelemetrySink()))
+    assert _stats_key(plain) == _stats_key(traced)
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_stall_spans_reconcile_with_cycle_breakdown(model):
+    trace = _TRACES.trace("mcf")
+    sink = StallProfileSink()
+    stats = run_model(model, trace, tracer=Tracer(sink))
+    totals = sink.category_totals()
+    for category in StallCategory:
+        if category is StallCategory.EXECUTION:
+            continue
+        assert totals.get(category, 0) == \
+            stats.cycle_breakdown[category], category
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_mode_spans_tile_the_whole_run(model):
+    """For mode-emitting cores, mode occupancy sums to total cycles."""
+    trace = _TRACES.trace("mcf")
+    sink = MetricsSink()
+    stats = run_model(model, trace, tracer=Tracer(sink))
+    counters = sink.summary()["counters"]
+    mode_cycles = sum(v for k, v in counters.items()
+                      if k.startswith("mode_cycles."))
+    if mode_cycles:                   # multipass-family cores only
+        assert mode_cycles == stats.cycles

@@ -1,0 +1,72 @@
+"""Sink behaviour: ring bounding, JSONL streaming, teeing."""
+
+import io
+import json
+
+from repro.telemetry import (Event, EventKind, JsonlSink, NullSink,
+                             RingBufferSink, TeeSink, TelemetrySink)
+
+
+def events(n):
+    return [Event(EventKind.COMMIT, cycle, seq=cycle, pc=0)
+            for cycle in range(n)]
+
+
+def test_ring_buffer_keeps_the_most_recent_events():
+    sink = RingBufferSink(capacity=3)
+    for event in events(10):
+        sink.emit(event)
+    sink.close()
+    assert [e.cycle for e in sink.events] == [7, 8, 9]
+    assert sink.dropped == 7
+
+
+def test_ring_buffer_without_capacity_keeps_everything():
+    sink = RingBufferSink()
+    for event in events(5):
+        sink.emit(event)
+    sink.close()
+    assert len(sink.events) == 5
+    assert sink.dropped == 0
+
+
+def test_jsonl_sink_streams_one_parseable_object_per_line():
+    out = io.StringIO()
+    sink = JsonlSink(out)
+    for event in events(4):
+        sink.emit(event)
+    sink.close()
+    lines = out.getvalue().strip().splitlines()
+    assert len(lines) == 4
+    parsed = [json.loads(line) for line in lines]
+    assert [p["cycle"] for p in parsed] == [0, 1, 2, 3]
+    assert all(p["kind"] == "commit" for p in parsed)
+
+
+def test_jsonl_sink_limit_suppresses_the_tail():
+    out = io.StringIO()
+    sink = JsonlSink(out, limit=2)
+    for event in events(6):
+        sink.emit(event)
+    sink.close()
+    assert sink.emitted == 2
+    assert sink.suppressed == 4
+    assert len(out.getvalue().strip().splitlines()) == 2
+
+
+def test_tee_fans_out_and_closes_all_sinks():
+    a, b = TelemetrySink(), RingBufferSink(capacity=1)
+    tee = TeeSink(a, b)
+    for event in events(2):
+        tee.emit(event)
+    tee.close()
+    assert len(a.events) == 2
+    assert [e.cycle for e in b.events] == [1]
+
+
+def test_null_sink_is_disabled_and_stores_nothing():
+    sink = NullSink()
+    assert sink.enabled is False
+    for event in events(3):
+        sink.emit(event)
+    assert sink.events == []
