@@ -54,6 +54,11 @@ python -m repro sweep --smoke --results-cache "$smoke_cache" \
     || failures=$((failures + 1))
 rm -rf "$smoke_cache"
 
+step "repro bench --smoke (perf gate: <=25% wall-clock regression)"
+python -m repro bench --smoke \
+    --against benchmarks/bench_smoke_baseline.json --max-regression 0.25 \
+    || failures=$((failures + 1))
+
 step "repro trace / profile (telemetry round-trip)"
 trace_dir="$(mktemp -d)"
 # The Chrome export must be loadable trace-event JSON with mode spans

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Record the PR's wall-clock benchmark trajectory file.
+
+Runs the full 5-model x 12-workload matrix at scale 0.1 (the Figure 6
+grid) through :mod:`repro.harness.bench` and writes ``BENCH_PR<n>.json``
+at the repository root.  An existing record — typically the previous
+PR's, or a pre-change run of this script — can be embedded as the
+``baseline`` key so each trajectory file is self-contained:
+
+    PYTHONPATH=src python scripts/run_bench.py --pr 5 \\
+        --baseline /tmp/pre_timing_record.json
+
+Usage:
+    python scripts/run_bench.py [--pr N] [--out FILE]
+        [--baseline FILE] [--smoke] [--repeats N] [--scale S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.harness.bench import (BENCH_MODELS, SMOKE_WORKLOADS,  # noqa: E402
+                                 load_record, render_bench, run_bench,
+                                 write_record)
+from repro.workloads import ALL_WORKLOADS  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pr", type=int, default=5,
+                        help="PR number for the default output name")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="output path (default: BENCH_PR<n>.json at "
+                             "the repo root)")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="embed this record under the 'baseline' key")
+    parser.add_argument("--smoke", action="store_true",
+                        help="3-workload smoke matrix instead of the "
+                             "full 12")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--scale", type=float, default=0.1)
+    args = parser.parse_args(argv)
+
+    workloads = (list(SMOKE_WORKLOADS) if args.smoke
+                 else list(ALL_WORKLOADS))
+    record = run_bench(BENCH_MODELS, workloads, scale=args.scale,
+                       repeats=args.repeats)
+    baseline = None
+    if args.baseline:
+        baseline = load_record(args.baseline)
+        record["baseline"] = baseline
+    print(render_bench(record, baseline))
+
+    out = args.out or str(REPO_ROOT / f"BENCH_PR{args.pr}.json")
+    write_record(record, out)
+    print(f"\nbenchmark record written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

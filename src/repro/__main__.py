@@ -14,6 +14,8 @@ Commands:
   Konata-style text pipeline view.
 * ``profile``  — stall-attribution profile: which static instructions
   the stalled cycles are charged to, per category, across models.
+* ``bench``    — wall-clock benchmark of the timing models over a fixed
+  matrix; writes/compares JSON records (``--against`` + perf gate).
 * ``cache``    — inspect (``stats``) or empty (``clear``) a result
   cache directory.
 * ``compare``  — race all primary models on one workload.
@@ -66,7 +68,8 @@ def _cmd_models(_args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    if (args.parallel or args.results_cache) and not args.check:
+    if (args.parallel or args.results_cache) and not args.check \
+            and not args.slow:
         from .harness import run_matrix
         matrix = run_matrix(args.models, (args.workload,),
                             scale=args.scale, parallel=args.parallel,
@@ -82,7 +85,7 @@ def _cmd_simulate(args) -> int:
         return 0
     cache = TraceCache(args.scale)
     trace = cache.trace(args.workload)
-    results = [run_model(model, trace, check=args.check)
+    results = [run_model(model, trace, check=args.check, slow=args.slow)
                for model in args.models]
     if args.json:
         _print_simulate_json(args, results,
@@ -164,6 +167,37 @@ def _cmd_sweep(args) -> int:
                   f"{summary.get('last_cycle', 0)}, "
                   f"dominant stall {worst}")
     return 0 if report.ok else 1
+
+
+def _cmd_bench(args) -> int:
+    from .harness.bench import (BENCH_MODELS, SMOKE_WORKLOADS,
+                                compare_bench, load_record, render_bench,
+                                run_bench, write_record)
+
+    workloads = args.workloads
+    if workloads is None:
+        workloads = (list(SMOKE_WORKLOADS) if not args.full
+                     else list(ALL_WORKLOADS))
+    models = args.models or list(BENCH_MODELS)
+    record = run_bench(models, workloads, scale=args.scale,
+                       repeats=args.repeats, slow=args.slow)
+    baseline = load_record(args.against) if args.against else None
+    print(render_bench(record, baseline))
+    if args.out:
+        write_record(record, args.out)
+        print(f"\nbench: record written to {args.out}")
+    if baseline is not None:
+        findings = compare_bench(record, baseline,
+                                 max_regression=args.max_regression)
+        if findings:
+            print("\nbench: REGRESSION against "
+                  f"{args.against}:", file=sys.stderr)
+            for finding in findings:
+                print(f"  {finding}", file=sys.stderr)
+            return 1
+        print(f"\nbench: within {args.max_regression:.0%} of baseline "
+              f"{args.against}")
+    return 0
 
 
 def _cmd_cache(args) -> int:
@@ -331,6 +365,10 @@ def main(argv=None) -> int:
     sim.add_argument("--scale", type=float, default=0.25)
     sim.add_argument("--check", action="store_true",
                      help="enable runtime invariant checking")
+    sim.add_argument("--slow", action="store_true",
+                     help="run the cycle-by-cycle reference loop (no "
+                          "stall fast-forwarding); stats are identical "
+                          "to the default fast path")
     sim.add_argument("--json", action="store_true",
                      help="emit a machine-readable JSON report instead "
                           "of the text summary")
@@ -388,6 +426,36 @@ def main(argv=None) -> int:
                           "cell (skips result-cache reads)")
     _add_engine_flags(swp)
     swp.set_defaults(fn=_cmd_sweep)
+
+    bench = sub.add_parser("bench")
+    bench.add_argument("--models", nargs="+",
+                       choices=sorted({**MODEL_FACTORIES,
+                                       **ABLATION_FACTORIES}),
+                       help="models to time (default: the five primary "
+                            "models)")
+    bench.add_argument("--workloads", nargs="+", choices=ALL_WORKLOADS,
+                       help="workloads to time (default: the fixed "
+                            "3-workload smoke matrix)")
+    bench.add_argument("--full", action="store_true",
+                       help="time the full 12-workload matrix")
+    bench.add_argument("--smoke", action="store_true",
+                       help="fixed 3-workload matrix (the default; "
+                            "spelled out for check.sh)")
+    bench.add_argument("--scale", type=float, default=0.1)
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timing passes per model; the best is kept")
+    bench.add_argument("--slow", action="store_true",
+                       help="benchmark the cycle-by-cycle reference "
+                            "loop instead of the fast path")
+    bench.add_argument("--out", metavar="FILE", default=None,
+                       help="write the JSON benchmark record here")
+    bench.add_argument("--against", metavar="FILE", default=None,
+                       help="compare against a recorded baseline and "
+                            "fail on regression")
+    bench.add_argument("--max-regression", type=float, default=0.25,
+                       help="allowed fractional wall-clock regression "
+                            "vs --against (default 0.25)")
+    bench.set_defaults(fn=_cmd_bench)
 
     cache_parser = sub.add_parser("cache")
     cache_parser.add_argument("action", choices=("stats", "clear"))

@@ -66,27 +66,30 @@ class TraceCache:
 
 def make_model(model: str, trace: Trace,
                config: Optional[MachineConfig] = None,
-               check: bool = False, tracer=None):
+               check: bool = False, tracer=None, slow: bool = False):
     """Instantiate one named model (including ablations) over a trace.
 
     ``tracer`` attaches a :class:`~repro.telemetry.events.Tracer` for
     cycle-level event tracing; the default (off) costs one attribute
     check per instrumentation site and leaves stats bit-identical.
+    ``slow`` selects the cycle-by-cycle reference loop (no stall
+    fast-forwarding) — the differential baseline for the fast path.
     """
     factories = {**MODEL_FACTORIES, **ABLATION_FACTORIES}
     if model not in factories:
         raise KeyError(f"unknown model {model!r}; "
                        f"available: {sorted(factories)}")
     return factories[model](trace, config or MachineConfig(), check=check,
-                            tracer=tracer)
+                            tracer=tracer, slow=slow)
 
 
 def run_model(model: str, trace: Trace,
               config: Optional[MachineConfig] = None,
-              check: bool = False, tracer=None) -> SimStats:
+              check: bool = False, tracer=None,
+              slow: bool = False) -> SimStats:
     """Run one named model (including ablations) over a prepared trace."""
     return make_model(model, trace, config, check=check,
-                      tracer=tracer).run()
+                      tracer=tracer, slow=slow).run()
 
 
 @dataclass

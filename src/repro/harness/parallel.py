@@ -243,9 +243,12 @@ class SweepReport:
         return not self.failures
 
     def summary(self) -> str:
+        rate = (f", {self.cells / self.elapsed:.1f} cells/s"
+                if self.elapsed > 0 else "")
         lines = [
             f"sweep: {self.cells} cell(s) with {self.jobs} job(s) in "
-            f"{self.elapsed:.1f}s — {self.simulated} simulated, "
+            f"{self.elapsed:.1f}s total wall time{rate} — "
+            f"{self.simulated} simulated, "
             f"{self.cache_hits} from cache, {len(self.failures)} failed"
         ]
         for failure in self.failures:

@@ -26,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import json
 import os
 import pickle
 import tempfile
@@ -133,6 +134,11 @@ class CacheStats:
 class ResultsCache:
     """Sharded on-disk store mapping cell keys to pickled stats."""
 
+    #: Lifetime hit/miss counters persisted in the cache root, so
+    #: ``repro cache stats`` can report the hit rate across sessions
+    #: (per-instance :class:`CacheStats` dies with the process).
+    _STATS_FILE = "_stats.json"
+
     def __init__(self, root: Union[str, Path],
                  tree_digest: Optional[str] = None):
         self.root = Path(root)
@@ -140,6 +146,37 @@ class ResultsCache:
         self.tree_digest = (tree_digest if tree_digest is not None
                             else source_digest())
         self.stats = CacheStats()
+
+    def _lifetime(self) -> dict:
+        try:
+            with open(self.root / self._STATS_FILE) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+        return {key: int(data.get(key, 0))
+                for key in ("hits", "misses", "stores", "errors")}
+
+    def _bump_lifetime(self, **deltas: int) -> None:
+        """Fold counter deltas into the persistent stats file.
+
+        Concurrent workers may interleave read-modify-write cycles and
+        lose an increment; the counters are telemetry, not correctness,
+        so approximate totals are acceptable.
+        """
+        data = self._lifetime()
+        for key, delta in deltas.items():
+            data[key] += delta
+        path = self.root / self._STATS_FILE
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(data, handle)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
     def key_for(self, workload: str, model: str, scale: float,
                 compile_options: object, config: object,
@@ -158,18 +195,21 @@ class ResultsCache:
                 stats = pickle.load(handle)
         except FileNotFoundError:
             self.stats.misses += 1
+            self._bump_lifetime(misses=1)
             return None
         except Exception:
             # Truncated/corrupt entry (e.g. a writer killed mid-dump
             # before the format grew atomic writes): drop it and miss.
             self.stats.misses += 1
             self.stats.errors += 1
+            self._bump_lifetime(misses=1, errors=1)
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.stats.hits += 1
+        self._bump_lifetime(hits=1)
         return stats
 
     def put(self, key: str, stats: object) -> None:
@@ -188,6 +228,7 @@ class ResultsCache:
                 pass
             raise
         self.stats.stores += 1
+        self._bump_lifetime(stores=1)
 
     def entries(self) -> Iterator[Path]:
         yield from sorted(self.root.glob("??/*.pkl"))
@@ -217,11 +258,17 @@ class ResultsCache:
         for path in self.entries():
             count += 1
             size += path.stat().st_size
+        life = self._lifetime()
+        lookups = life["hits"] + life["misses"]
+        rate = (f"{life['hits'] / lookups:.1%}" if lookups else "n/a")
         return "\n".join([
             f"results cache at {self.root}",
             f"  entries:       {count}",
             f"  size:          {size} bytes",
             f"  source digest: {self.tree_digest[:16]}…",
+            f"  lifetime:      {life['hits']} hit(s) / {lookups} "
+            f"lookup(s) — {rate} hit rate, {life['stores']} store(s), "
+            f"{life['errors']} error(s)",
             f"  this session:  {self.stats.summary()}",
         ])
 

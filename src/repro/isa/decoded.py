@@ -1,0 +1,127 @@
+"""Decoded-trace cache: precomputed per-entry hot fields.
+
+The timing cores replay the same :class:`~repro.isa.trace.Trace` tens of
+thousands of cycles at a time, and the fields they consult every cycle —
+functional-unit class, source/destination register tuples, latency, the
+``is_load``/``is_store``/``is_restart`` flags — all live behind Python
+property calls and an ``OP_SPECS`` dictionary lookup
+(``entry.inst.spec``).  :class:`DecodedTrace` flattens those fields once
+per trace into parallel lists indexed by dynamic sequence number, so the
+simulation inner loops become plain list indexing.
+
+The decode is built lazily on first use (``trace.decoded``) and cached on
+the :class:`~repro.isa.trace.Trace` instance.  Because the experiment
+harness shares one ``Trace`` object per workload across all timing models
+(see :class:`~repro.harness.experiment.TraceCache`), a five-model sweep
+decodes each workload exactly once, and process-pool workers — which keep
+a per-process trace cache — rebuild it once per worker, not per cell.
+
+Everything here is *derived* read-only data: a ``DecodedTrace`` never
+changes simulation semantics, it only removes interpretation overhead.
+The invariant ``decoded field == per-entry property`` is pinned by
+``tests/isa/test_decoded.py``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from .opcodes import OP_SPECS, FUClass, Opcode, OpSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .trace import Trace
+
+
+class DecodedTrace:
+    """Flat parallel lists of per-entry hot fields, indexed by ``seq``.
+
+    Attributes (all lists of length ``n``, shared read-only):
+        fu: static :class:`FUClass` of the instruction.
+        issue_fu: FU class the entry *occupies* at issue —
+            :data:`FUClass.NONE` when predicate-nullified (mirrors
+            :meth:`~repro.pipeline.base.BaseCore.issue_fu`).
+        srcs / dests: the dynamic register id tuples of the entry.
+        static_dests: the instruction's static destination tuple (used
+            by the non-ideal OOO rename path for predicated writes).
+        latency: fixed execution latency (loads get theirs from the
+            caches at issue time).
+        pc: static instruction index in the program.
+        stop: EPIC stop bit (issue-group boundary).
+        executed / is_load / is_store / is_branch / is_restart:
+            the per-entry flags, with the same nullification semantics
+            as the ``TraceEntry`` properties.
+        mem_exec: ``executed and (is_load or is_store)`` — the guard
+            for performing a timed cache access.
+        is_predicated: instruction is guarded by a real predicate.
+        addr / value / taken: dynamic effective address, value and
+            branch outcome (same objects as the entries').
+    """
+
+    __slots__ = ("n", "fu", "issue_fu", "srcs", "dests", "static_dests",
+                 "latency", "pc", "stop", "executed", "is_load", "is_store",
+                 "is_branch", "is_restart", "mem_exec", "is_predicated",
+                 "addr", "value", "taken")
+
+    def __init__(self, trace: "Trace"):
+        entries = trace.entries
+        n = len(entries)
+        self.n = n
+        self.fu = [FUClass.NONE] * n
+        self.issue_fu = [FUClass.NONE] * n
+        self.srcs: list = [()] * n
+        self.dests: list = [()] * n
+        self.static_dests: list = [()] * n
+        self.latency = [1] * n
+        self.pc = [0] * n
+        self.stop = [False] * n
+        self.executed = [True] * n
+        self.is_load = [False] * n
+        self.is_store = [False] * n
+        self.is_branch = [False] * n
+        self.is_restart = [False] * n
+        self.mem_exec = [False] * n
+        self.is_predicated = [False] * n
+        self.addr = [None] * n
+        self.value = [None] * n
+        self.taken = [False] * n
+
+        # One spec lookup per opcode, not per entry.
+        specs: Dict[Opcode, Tuple[OpSpec, bool]] = {}
+        none_fu = FUClass.NONE
+        restart = Opcode.RESTART
+        for seq, entry in enumerate(entries):
+            inst = entry.inst
+            opcode = inst.opcode
+            cached = specs.get(opcode)
+            if cached is None:
+                spec = OP_SPECS[opcode]
+                cached = (spec, spec.is_load or spec.is_store)
+                specs[opcode] = cached
+            spec, is_mem = cached
+            executed = entry.executed
+            self.fu[seq] = spec.fu
+            self.issue_fu[seq] = spec.fu if executed else none_fu
+            self.srcs[seq] = entry.srcs
+            self.dests[seq] = entry.dests
+            self.static_dests[seq] = inst.dests
+            self.latency[seq] = spec.latency
+            self.pc[seq] = inst.index
+            self.stop[seq] = inst.stop
+            self.executed[seq] = executed
+            self.is_load[seq] = executed and spec.is_load
+            self.is_store[seq] = executed and spec.is_store
+            self.is_branch[seq] = spec.is_branch
+            self.is_restart[seq] = opcode is restart
+            self.mem_exec[seq] = executed and is_mem
+            self.is_predicated[seq] = inst.is_predicated
+            self.addr[seq] = entry.addr
+            self.value[seq] = entry.value
+            self.taken[seq] = entry.taken
+
+    def __len__(self) -> int:
+        return self.n
+
+
+def decode(trace: "Trace") -> DecodedTrace:
+    """Return (building on first use) the decoded cache for ``trace``."""
+    return trace.decoded

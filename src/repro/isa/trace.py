@@ -93,6 +93,20 @@ class Trace:
         self.final_registers = final_registers
         self.final_memory = final_memory
         self.truncated = truncated
+        self._decoded = None
+
+    @property
+    def decoded(self):
+        """Decoded-trace cache (flat per-entry hot fields), built lazily.
+
+        Shared read-only by every timing core replaying this trace; the
+        harness' per-workload trace cache therefore amortizes one decode
+        across a whole model sweep.
+        """
+        if self._decoded is None:
+            from .decoded import DecodedTrace
+            self._decoded = DecodedTrace(self)
+        return self._decoded
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -22,6 +22,14 @@ One physical in-order pipeline operating in three modes:
 Ablation flags reproduce Figure 8 (``enable_regroup``/``enable_restart``),
 and disabling result persistence (``persist_results=False``) with both
 ablations yields the Dundas–Mudge runahead model of Figure 1(b).
+
+The simulation loop has a fast path (see
+:meth:`~repro.pipeline.base.BaseCore.next_event_cycle`): cycles that are
+provably pure polls — nothing can change before a known wake-up cycle —
+are charged as one span with the per-cycle poll counters replicated, so
+stats stay bit-identical to the cycle-by-cycle loop.  ``slow=True``
+disables the skips; tracing and ``record_modes`` also force the per-cycle
+loop because they observe every cycle.
 """
 
 from __future__ import annotations
@@ -32,11 +40,17 @@ from typing import Dict, Optional, Set
 from ..isa.opcodes import FUClass, Opcode
 from ..isa.trace import Trace, TraceEntry
 from ..machine import MachineConfig
-from ..pipeline.base import BaseCore, SimulationDiverged
+from ..resources import PORT_CODE
+from ..pipeline.base import BaseCore
 from ..pipeline.stats import SimStats, StallCategory
 from .asc import (HIT, HIT_INVALID, INVALID, MISS_SPECULATIVE,
                   AdvanceStoreCache)
 from .result_store import ResultStore, RSEntry
+
+#: "No internal event": a fast-forward hint meaning the issue logic found
+#: nothing that could change on its own — the skip is bounded only by the
+#: mode deadline (``trigger_ready``) and the front end.
+_INF = 1 << 62
 
 
 class Mode(enum.Enum):
@@ -58,10 +72,10 @@ class MultipassCore(BaseCore):
                  hw_restart_window: int = 16,
                  hw_restart_fraction: float = 0.125,
                  record_modes: bool = False,
-                 check: bool = False, tracer=None):
+                 check: bool = False, tracer=None, slow: bool = False):
         config = config or MachineConfig()
         super().__init__(trace, config, config.multipass_queue_size,
-                         check=check, tracer=tracer)
+                         check=check, tracer=tracer, slow=slow)
         self.enable_regroup = enable_regroup
         self.enable_restart = enable_restart
         self.persist_results = persist_results
@@ -112,6 +126,12 @@ class MultipassCore(BaseCore):
         self.pass_dead = False              # advance went down a wrong path
         self.adv_stall_until = 0
         self.arch_stall_until = 0
+        # Decoded-trace cache handle (shared read-only with other cores
+        # replaying the same trace).
+        self._dec = trace.decoded
+        # Small-int port class per seq for the inlined issue-port
+        # counters in both issue loops.
+        self._port_code = [PORT_CODE[fu] for fu in self._dec.issue_fu]
 
     # ------------------------------------------------------------------
     # runtime invariants (the --check flag)
@@ -214,7 +234,7 @@ class MultipassCore(BaseCore):
     # advance-mode operand resolution
     # ------------------------------------------------------------------
 
-    def _advance_source_state(self, entry: TraceEntry, now: int):
+    def _advance_source_state(self, srcs, now: int):
         """Classify an advance instruction's operands.
 
         Returns ``(status, wait_until)`` where status is one of
@@ -223,20 +243,24 @@ class MultipassCore(BaseCore):
         ``"invalid"`` (a poisoned or cache-missing producer: suppress).
         """
         wait_until = now
-        for src in entry.srcs:
-            adv_ready = self.adv_reg.get(src)
+        adv_reg = self.adv_reg
+        poison = self.poison
+        reg_ready = self.reg_ready
+        pending = self.load_miss_pending
+        for src in srcs:
+            adv_ready = adv_reg.get(src)
             if adv_ready is not None:          # A-bit: read the SRF value
-                if adv_ready > now:
-                    wait_until = max(wait_until, adv_ready)
+                if adv_ready > wait_until:
+                    wait_until = adv_ready
                 continue
-            if src in self.poison:             # I-bit
+            if src in poison:                  # I-bit
                 return "invalid", now
-            arch_ready = self.reg_ready.get(src, 0)
+            arch_ready = reg_ready[src]
             if arch_ready > now:
-                if src in self.load_miss_pending and \
-                        self.load_miss_pending[src] > now:
+                if pending[src] > now:
                     return "invalid", now      # missing load: defer
-                wait_until = max(wait_until, arch_ready)
+                if arch_ready > wait_until:
+                    wait_until = arch_ready
         if wait_until > now:
             return "wait", wait_until
         return "ready", now
@@ -245,70 +269,110 @@ class MultipassCore(BaseCore):
     # advance-mode issue
     # ------------------------------------------------------------------
 
-    def _issue_advance_cycle(self, now: int) -> int:
-        """Issue one advance-mode cycle; returns number of new executions."""
-        if self.pass_dead or now < self.adv_stall_until:
-            return 0
+    def _issue_advance_cycle(self, now: int):
+        """Issue one advance-mode cycle.
+
+        Returns ``(new_execs, wake, peeks)``.  ``wake`` is the
+        fast-forward hint for this cycle: ``None`` means state changed
+        (not skippable); a cycle number means the cycle was a pure poll
+        that repeats identically until then; ``_INF`` means there is no
+        advance-internal event at all (window edge / dead pass), so the
+        skip is bounded only by ``trigger_ready`` and the front end.
+        ``peeks`` is the per-cycle ``iq_peeks`` poll count to replicate
+        over skipped cycles.
+        """
+        if self.pass_dead:
+            return 0, _INF, 0
+        if now < self.adv_stall_until:
+            return 0, self.adv_stall_until, 0
+        dec = self.trace.decoded
+        d_srcs = dec.srcs
+        d_dests = dec.dests
+        d_restart = dec.is_restart
         entries = self.trace.entries
-        frontend = self.frontend
+        counters = self.stats.counters
+        rs_get = self.rs.get if self.persist_results else None
         tel = self.tracer if self.tracer.enabled else None
-        tracker = self.config.ports.new_tracker()
-        window_end = min(len(entries), frontend.fetched_until,
+        ports = self.config.ports
+        m_ports = ports.m_ports
+        i_ports = ports.i_ports
+        f_ports = ports.f_ports
+        b_ports = ports.b_ports
+        port_code = self._port_code
+        m_used = i_used = f_used = b_used = 0
+        window_end = min(dec.n, self.frontend.fetched_until,
                          self.arch_ptr + self.buffer_size)
+        adv_reg = self.adv_reg
+        poison = self.poison
+        poison_ready = self.poison_ready
+        enable_restart = self.enable_restart
+        width = self.config.ports.width
         slots = 0
         new_execs = 0
-        width = self.config.ports.width
+        wake = _INF
+        peeks = 0
 
         while self.adv_ptr < window_end and slots < width:
-            entry = entries[self.adv_ptr]
-            seq = entry.seq
-            self.stats.counters["iq_peeks"] += 1
+            seq = self.adv_ptr
+            wake = None
+            counters["iq_peeks"] += 1
 
-            rs_entry = self.rs.get(seq) if self.persist_results else None
+            rs_entry = rs_get(seq) if rs_get is not None else None
             if rs_entry is not None:
                 if rs_entry.ready > now:
                     # Result (typically a missing load from an earlier
                     # pass) still in flight: consumers stay deferred.
-                    for dest in entry.dests:
-                        self.poison.add(dest)
-                        self.poison_ready[dest] = rs_entry.ready
-                        self.adv_reg.pop(dest, None)
-                    self.adv_ptr += 1
+                    for dest in d_dests[seq]:
+                        poison.add(dest)
+                        poison_ready[dest] = rs_entry.ready
+                        adv_reg.pop(dest, None)
+                    self.adv_ptr = seq + 1
                     slots += 1
                     continue
                 # Preserved result: no re-execution, breaks dependences.
-                for dest in entry.dests:
-                    self.adv_reg[dest] = now
-                    self.poison.discard(dest)
-                self.stats.counters["advance_merges"] += 1
+                for dest in d_dests[seq]:
+                    adv_reg[dest] = now
+                    poison.discard(dest)
+                counters["advance_merges"] += 1
                 if tel is not None:
-                    tel.rs_hit(now, seq, entry.inst.index, mode="advance")
-                self.adv_ptr += 1
+                    tel.rs_hit(now, seq, entries[seq].inst.index,
+                               mode="advance")
+                self.adv_ptr = seq + 1
                 slots += 1
                 continue
 
-            if entry.is_restart and self.enable_restart:
-                status, _ = self._advance_source_state(entry, now)
-                if status in ("invalid", "wait"):
+            if d_restart[seq] and enable_restart:
+                status, _ = self._advance_source_state(d_srcs[seq], now)
+                if status != "ready":
+                    pending = self.load_miss_pending
                     hints = []
-                    for src in entry.srcs:
-                        if src in self.poison_ready:
-                            hints.append(self.poison_ready[src])
-                        elif src in self.load_miss_pending:
-                            hints.append(self.load_miss_pending[src])
-                    self._advance_restart(now, max(hints, default=None)
-                                          if hints else None)
-                    return new_execs
-                self.adv_ptr += 1
+                    for src in d_srcs[seq]:
+                        hint = poison_ready.get(src)
+                        if hint is not None:
+                            hints.append(hint)
+                        elif pending[src]:
+                            hints.append(pending[src])
+                    self._advance_restart(now, max(hints) if hints
+                                          else None)
+                    return new_execs, None, 0
+                self.adv_ptr = seq + 1
                 slots += 1
                 continue
 
-            status, wait_until = self._advance_source_state(entry, now)
+            status, wait_until = self._advance_source_state(d_srcs[seq],
+                                                            now)
             if status == "wait":
-                break  # in-order advance stream waits for a bypass
+                # In-order advance stream waits for a bypass.  Breaking
+                # on the very first slot is a pure poll (only the peek
+                # counter moved) and repeats identically every cycle
+                # until the bypass arrives.
+                if slots == 0:
+                    wake = wait_until
+                    peeks = 1
+                break
 
             if status == "invalid":
-                new_execs += self._defer_advance(entry, now)
+                new_execs += self._defer_advance(entries[seq], now)
                 self._pass_defers += 1
                 slots += 1
                 if self.pass_dead:
@@ -316,54 +380,76 @@ class MultipassCore(BaseCore):
                 continue
 
             # Valid operands: execute speculatively.
-            fu = self.issue_fu(entry)
-            if not tracker.can_issue(fu):
-                break
-            tracker.issue(fu)
-            executed = self._execute_advance(entry, now)
+            code = port_code[seq]
+            if code == 0:          # MEM
+                if m_used >= m_ports:
+                    break
+                m_used += 1
+            elif code == 1:        # ALU: I port with M fallback
+                if i_used < i_ports:
+                    i_used += 1
+                elif m_used < m_ports:
+                    m_used += 1
+                else:
+                    break
+            elif code == 2:        # FP / MULDIV
+                if f_used >= f_ports:
+                    break
+                f_used += 1
+            elif code == 3:        # BR
+                if b_used >= b_ports:
+                    break
+                b_used += 1
+            executed = self._execute_advance(entries[seq], now)
             new_execs += executed
             self._pass_execs += executed
             slots += 1
             if self.pass_dead:
                 break
         if self.hardware_restart and not self.pass_dead:
-            self._maybe_hardware_restart(now)
-        return new_execs
+            if self._maybe_hardware_restart(now):
+                wake = None
+        return new_execs, wake, peeks
 
-    def _maybe_hardware_restart(self, now: int) -> None:
+    def _maybe_hardware_restart(self, now: int) -> bool:
         """Footnote-1 mechanism: restart a fruitless pass on its own.
 
         Fires when the current pass is dominated by deferrals and a
         poisoned value has a known arrival time to rendezvous with;
         without an in-flight fill nothing would change, so the pass is
-        left to keep prefetching instead.
+        left to keep prefetching instead.  Returns True when it fired.
+        Every blocker is stable or monotone while the pass is idle, so a
+        non-firing check stays non-firing across a fast-forward span.
         """
         processed = self._pass_execs + self._pass_defers
         if processed < self.hw_restart_window:
-            return
+            return False
         if self._pass_execs >= processed * self.hw_restart_fraction:
-            return
+            return False
         pending = [t for t in self.poison_ready.values() if t > now]
         if not pending:
-            return
+            return False
         self._advance_restart(now, min(pending))
         self.stats.counters["hardware_restarts"] += 1
+        return True
 
     def _defer_advance(self, entry: TraceEntry, now: int) -> int:
         """Suppress an advance instruction with invalid operands."""
+        dec = self._dec
+        seq = entry.seq
         self.stats.counters["advance_deferrals"] += 1
-        for dest in entry.dests:
+        for dest in dec.dests[seq]:
             self.poison.add(dest)
             self.adv_reg.pop(dest, None)
-        inst = entry.inst
-        if inst.is_branch:
+        if dec.is_branch[seq]:
             # Direction unknown: follow the prediction.  When it disagrees
             # with the actual outcome the advance stream has gone down the
             # wrong path and the rest of this pass is unproductive.
-            if not self.predictor.peek_correct(inst.index, entry.taken):
+            if not self.predictor.peek_correct(dec.pc[seq], entry.taken):
                 self.pass_dead = True
                 self.stats.counters["advance_wrong_path"] += 1
-        elif entry.is_store:
+        elif dec.is_store[seq]:
+            inst = entry.inst
             data_reg, base_reg = inst.srcs[0], inst.srcs[1]
             if self._advance_reg_invalid(base_reg, now) or \
                     (entry.addr is None):
@@ -379,60 +465,60 @@ class MultipassCore(BaseCore):
             return False
         if reg in self.poison:
             return True
-        return (self.reg_ready.get(reg, 0) > now
-                and reg in self.load_miss_pending
+        return (self.reg_ready[reg] > now
                 and self.load_miss_pending[reg] > now)
 
     def _execute_advance(self, entry: TraceEntry, now: int) -> int:
         """Execute one valid advance instruction; returns 1 if it counts
         as a new execution."""
-        inst = entry.inst
+        dec = self._dec
         seq = entry.seq
         self.stats.counters["advance_executions"] += 1
         if self.tracer.enabled:
-            self.tracer.issue(now, seq, inst.index, mode="advance")
+            self.tracer.issue(now, seq, dec.pc[seq], mode="advance")
 
-        if not entry.executed:
+        if not dec.executed[seq]:
             # Predicate-nullified: flows through, nothing to preserve.
             if self.persist_results:
                 self.rs.put(RSEntry(seq, now + 1,
-                                    resolved_branch=entry.is_branch))
-            if entry.is_branch:
+                                    resolved_branch=dec.is_branch[seq]))
+            if dec.is_branch[seq]:
                 self._resolve_advance_branch(entry, now)
-            self.adv_ptr += 1
+            self.adv_ptr = seq + 1
             return 1
 
-        if inst.is_branch:
+        if dec.is_branch[seq]:
             self._resolve_advance_branch(entry, now)
             if self.persist_results:
                 self.rs.put(RSEntry(seq, now + 1, resolved_branch=True))
-            self.adv_ptr += 1
+            self.adv_ptr = seq + 1
             return 1
 
-        if entry.is_store:
+        if dec.is_store[seq]:
             self.asc.write(entry.addr, entry.value)
             self.stats.counters["advance_stores"] += 1
             if self.persist_results:
                 self.rs.put(RSEntry(seq, now + 1, addr=entry.addr,
                                     is_store=True))
-            self.adv_ptr += 1
+            self.adv_ptr = seq + 1
             return 1
 
-        if entry.is_load:
+        if dec.is_load[seq]:
             self._execute_advance_load(entry, now)
-            self.adv_ptr += 1
+            self.adv_ptr = seq + 1
             return 1
 
         # ALU / FP / mul-div / nop.
-        latency = inst.spec.latency
-        for dest in entry.dests:
+        latency = dec.latency[seq]
+        dests = dec.dests[seq]
+        for dest in dests:
             self.adv_reg[dest] = now + latency
             self.poison.discard(dest)
             self.poison_ready.pop(dest, None)
-        if self.persist_results and (entry.dests or inst.opcode is
+        if self.persist_results and (dests or entry.inst.opcode is
                                      Opcode.NOP):
             self.rs.put(RSEntry(seq, now + latency))
-        self.adv_ptr += 1
+        self.adv_ptr = seq + 1
         return 1
 
     def _resolve_advance_branch(self, entry: TraceEntry, now: int) -> None:
@@ -443,7 +529,7 @@ class MultipassCore(BaseCore):
         architectural stream later merges the resolved branch with no
         flush — the source of multipass front-end-stall reduction.
         """
-        correct = self.predictor.update(entry.inst.index,
+        correct = self.predictor.update(self._dec.pc[entry.seq],
                                         entry.taken and entry.executed)
         self.stats.counters["advance_branches"] += 1
         if not correct:
@@ -514,127 +600,6 @@ class MultipassCore(BaseCore):
     # architectural / rally issue
     # ------------------------------------------------------------------
 
-    def _issue_arch_cycle(self, now: int):
-        """Issue one architectural/rally cycle.
-
-        Returns ``(issued, reason, wait_until, trigger_entry)``; a non-None
-        trigger entry means the cycle ended on a load stall and advance
-        mode should begin.
-        """
-        entries = self.trace.entries
-        frontend = self.frontend
-        tel = self.tracer if self.tracer.enabled else None
-        tracker = self.config.ports.new_tracker()
-        width = self.config.ports.width
-        issued = 0
-        reason = None
-        wait_until = now + 1
-        trigger = None
-        rallying = self.arch_ptr < self.max_peek
-        dynamic_groups = self.enable_regroup and rallying
-
-        while self.arch_ptr < frontend.fetched_until and issued < width:
-            entry = entries[self.arch_ptr]
-            inst = entry.inst
-            seq = entry.seq
-            self.stats.counters["iq_dequeues"] += 1
-
-            rs_entry = self.rs.peek(seq) if self.persist_results else None
-            if rs_entry is not None and rs_entry.done(now) \
-                    and not rs_entry.sbit:
-                self._merge_committed(entry, rs_entry, now)
-                issued += 1
-                self.arch_ptr += 1
-                if not dynamic_groups and inst.stop:
-                    break
-                continue
-
-            if rs_entry is not None and rs_entry.done(now) and rs_entry.sbit:
-                if not tracker.can_issue(FUClass.MEM):
-                    reason = StallCategory.OTHER
-                    break
-                tracker.issue(FUClass.MEM)
-                flushed = self._verify_speculative_load(entry, rs_entry,
-                                                        now)
-                issued += 1
-                self.arch_ptr += 1
-                if flushed:
-                    reason = StallCategory.OTHER
-                    wait_until = self.arch_stall_until
-                    break
-                if not dynamic_groups and inst.stop:
-                    break
-                continue
-
-            if rs_entry is not None and not rs_entry.done(now):
-                # Preserved result still in flight (missing load from an
-                # earlier pass): the rally stream stalls on it without
-                # re-executing, and the stall re-triggers advance mode so
-                # preexecution continues beyond it.
-                reason = StallCategory.LOAD
-                wait_until = rs_entry.ready
-                trigger = entry
-                break
-
-            # Normal in-order execution.
-            fu = self.issue_fu(entry)
-            if not tracker.can_issue(fu):
-                reason = StallCategory.OTHER
-                break
-            unready = self.unready_sources(entry, now)
-            if unready:
-                reason, wait_until = self.classify_wait(unready, now)
-                if reason is StallCategory.LOAD:
-                    trigger = entry
-                break
-
-            latency = inst.spec.latency
-            l1_miss = False
-            if entry.executed and inst.is_mem:
-                if entry.is_load:
-                    result = self.hierarchy.access(entry.addr, now)
-                    latency = result.latency
-                    l1_miss = result.l1_miss
-                    self.stats.counters["loads_issued"] += 1
-                    if l1_miss:
-                        self.stats.counters["l1d_load_misses"] += 1
-                        if tel is not None:
-                            tel.cache_miss(now, seq, inst.index,
-                                           result.level)
-                else:
-                    self.hierarchy.access(entry.addr, now, kind="store")
-                    self.mem_vals[entry.addr] = entry.value
-
-            waw = [d for d in entry.dests
-                   if self.reg_ready.get(d, 0) > now + latency]
-            if waw:
-                reason, wait_until = self.classify_wait(waw, now)
-                self.stats.counters["waw_stalls"] += 1
-                break
-
-            tracker.issue(fu)
-            self.writeback(entry, now, latency, l1_miss)
-            self.stats.instructions += 1
-            if tel is not None:
-                tel.issue(now, seq, inst.index)
-            self.commit_entry(entry, now)
-            issued += 1
-            self.arch_ptr += 1
-            if entry.is_branch:
-                if frontend.resolve_branch(entry, now):
-                    self.stats.counters["mispredicts"] += 1
-                    self.rs.clear_from(seq + 1)
-                    self.max_peek = min(self.max_peek, seq + 1)
-                    if self.check:
-                        self._invariant(
-                            self.rs.max_seq() <= seq,
-                            "RS retains entries younger than a mispredict "
-                            "flush", entry)
-                    break
-            if inst.stop and not dynamic_groups:
-                break
-        return issued, reason, wait_until, trigger
-
     def _merge_committed(self, entry: TraceEntry, rs_entry: RSEntry,
                          now: int) -> None:
         """Commit a preserved result without re-execution."""
@@ -649,14 +614,14 @@ class MultipassCore(BaseCore):
         self.commit_entry(entry, now)
         for dest in entry.dests:
             self.reg_ready[dest] = now
-            self.load_miss_pending.pop(dest, None)
+            self.load_miss_pending[dest] = 0
         if rs_entry.is_store:
             # Pre-executed stores re-perform their access in rally mode
             # using the SMAQ address (Section 3.6).
             self.hierarchy.access(rs_entry.addr, now, kind="store")
             self.mem_vals[rs_entry.addr] = entry.value
             self.stats.counters["smaq_reads"] += 1
-        if entry.is_branch:
+        if self._dec.is_branch[entry.seq]:
             self.frontend.resolve_branch(entry, now, already_resolved=True)
 
     def _verify_speculative_load(self, entry: TraceEntry,
@@ -705,88 +670,379 @@ class MultipassCore(BaseCore):
         entries = self.trace.entries
         n = len(entries)
         frontend = self.frontend
+        stats = self.stats
+        counters = stats.counters
         tel = self.tracer if self.tracer.enabled else None
+        record = self.record_modes
+        # The fast path requires that nothing observes individual cycles:
+        # tracing emits a per-cycle mode event and record_modes logs one,
+        # so both force the reference loop (stats are identical either
+        # way — the differential suite pins it).
+        fast = not self.slow and tel is None and not record
+        check = self.check
+        dec = self.trace.decoded
+        d_srcs = dec.srcs
+        d_dests = dec.dests
+        d_lat = dec.latency
+        d_mem = dec.mem_exec
+        d_load = dec.is_load
+        d_addr = dec.addr
+        d_value = dec.value
+        d_branch = dec.is_branch
+        d_stop = dec.stop
+        reg_ready = self.reg_ready
+        pending = self.load_miss_pending
+        access = self.hierarchy.access
+        mem_vals = self.mem_vals
+        replay = self.replay
+        rs = self.rs
+        rs_peek = rs.peek if self.persist_results else None
+        enable_regroup = self.enable_regroup
+        ports = self.config.ports
+        width = ports.width
+        m_ports = ports.m_ports
+        i_ports = ports.i_ports
+        f_ports = ports.f_ports
+        b_ports = ports.b_ports
+        port_code = self._port_code
+        ADVANCE = Mode.ADVANCE
+        ARCH = Mode.ARCHITECTURAL
+        RALLY = Mode.RALLY
+        EXECUTION = StallCategory.EXECUTION
+        FRONT_END = StallCategory.FRONT_END
+        LOAD = StallCategory.LOAD
+        OTHER = StallCategory.OTHER
+        # Per-category cycle tallies, flushed into the stats once at the
+        # end of the run — identical totals to per-cycle charge() without
+        # a dict update in the hot loop.
+        c_exec = c_fe = c_load = c_other = 0
         now = 0
 
         while self.arch_ptr < n:
             if now > max_cycles:
-                raise SimulationDiverged(
-                    f"multipass exceeded {max_cycles} cycles on "
-                    f"{self.trace.program.name}"
-                )
-            frontend.tick(now, self.arch_ptr)
+                self.check_cycle_budget(now, max_cycles)
+            # tick() is a no-op once the whole trace is fetched (its
+            # limit clamps to n); a restart rolls fetched_until back, so
+            # the guard re-arms itself after redirects.
+            if frontend.fetched_until < n:
+                frontend.tick(now, self.arch_ptr)
 
-            if self.mode is Mode.ADVANCE and now >= self.trigger_ready:
+            if self.mode is ADVANCE and now >= self.trigger_ready:
                 self._enter_rally(now)
-            if self.record_modes:
+            if record:
                 self.mode_log.append((now, self.mode, self.arch_ptr,
                                       self.adv_ptr))
             if tel is not None:
                 tel.mode(now, self.mode.value)
 
-            if self.mode is Mode.ADVANCE:
-                new_execs = self._issue_advance_cycle(now)
-                if self.check:
+            if self.mode is ADVANCE:
+                new_execs, wake, peeks = self._issue_advance_cycle(now)
+                if check:
                     self._invariant(
                         self.adv_ptr >= self.arch_ptr,
                         f"advance pointer {self.adv_ptr} fell behind "
                         f"architectural pointer {self.arch_ptr}")
-                self.max_peek = max(self.max_peek, self.adv_ptr)
+                if self.adv_ptr > self.max_peek:
+                    self.max_peek = self.adv_ptr
                 if new_execs:
-                    self.stats.charge(StallCategory.EXECUTION)
+                    c_exec += 1
                     if tel is not None:
-                        tel.charge(now, StallCategory.EXECUTION)
+                        tel.charge(now, EXECUTION)
                 else:
                     # No new executions: the cycle belongs to the latency
                     # that initiated advance mode.
-                    self.stats.charge(StallCategory.LOAD)
+                    c_load += 1
                     if tel is not None:
                         # Attributed to the load that triggered advance
                         # mode — the same charging rule as the stats.
                         trig = entries[self.trigger_seq]
-                        tel.charge(now, StallCategory.LOAD,
+                        tel.charge(now, LOAD,
                                    seq=trig.seq, pc=trig.inst.index)
-                self.stats.counters["advance_cycles"] += 1
+                counters["advance_cycles"] += 1
                 now += 1
+                if fast and wake is not None and not new_execs:
+                    # Nothing can change before min(wake, trigger_ready):
+                    # jump there, replicating the per-cycle attribution
+                    # (zero-execution advance cycles charge LOAD) and
+                    # the per-cycle poll counters.
+                    target = wake if wake < self.trigger_ready \
+                        else self.trigger_ready
+                    skip_to = self.next_event_cycle(now, target,
+                                                    self.arch_ptr)
+                    if skip_to > now:
+                        k = skip_to - now
+                        c_load += k
+                        counters["advance_cycles"] += k
+                        if peeks:
+                            counters["iq_peeks"] += peeks * k
+                        now = skip_to
                 continue
 
             if now < self.arch_stall_until:
-                self.stats.charge(StallCategory.OTHER)
+                c_other += 1
                 if tel is not None:
-                    tel.charge(now, StallCategory.OTHER)
+                    tel.charge(now, OTHER)
                 now += 1
+                if fast:
+                    skip_to = self.next_event_cycle(
+                        now, self.arch_stall_until, self.arch_ptr)
+                    if skip_to > now:
+                        c_other += skip_to - now
+                        now = skip_to
                 continue
 
-            issued, reason, wait_until, trigger = self._issue_arch_cycle(now)
-            if self.mode is Mode.RALLY:
-                self.stats.counters["rally_cycles"] += 1
-                if self.arch_ptr >= self.max_peek and \
-                        self.rs.max_seq() < self.arch_ptr:
-                    self.mode = Mode.ARCHITECTURAL
+            # ---- architectural / rally issue (inlined hot loop) ------
+            # ``wake`` is the fast-forward hint for zero-issue cycles
+            # (None: state changed, not skippable; _INF: a pure front-end
+            # stall; a cycle: a pure operand/WAW stall repeating
+            # identically until then); ``dq``/``waw_poll`` are the
+            # per-cycle iq_dequeues/waw_stalls poll counts to replicate
+            # over skipped cycles.
+            fetched_until = frontend.fetched_until
+            m_used = i_used = f_used = b_used = 0
+            issued = 0
+            reason = None
+            wait_until = now + 1
+            trigger = None
+            wake = _INF
+            dq = waw_poll = 0
+            aptr = self.arch_ptr
+            rallying = aptr < self.max_peek
+            dynamic_groups = enable_regroup and rallying
 
+            while aptr < fetched_until and issued < width:
+                seq = aptr
+                wake = None
+                counters["iq_dequeues"] += 1
+
+                rs_entry = rs_peek(seq) if rs_peek is not None else None
+                if rs_entry is not None:
+                    if not rs_entry.done(now):
+                        # Preserved result still in flight (missing load
+                        # from an earlier pass): the rally stream stalls
+                        # on it without re-executing, and the stall
+                        # re-triggers advance mode so preexecution
+                        # continues beyond it.
+                        reason = LOAD
+                        wait_until = rs_entry.ready
+                        trigger = entries[seq]
+                        break
+                    if not rs_entry.sbit:
+                        self.arch_ptr = aptr
+                        self._merge_committed(entries[seq], rs_entry, now)
+                        issued += 1
+                        aptr = seq + 1
+                        if not dynamic_groups and d_stop[seq]:
+                            break
+                        continue
+                    if m_used >= m_ports:
+                        reason = OTHER
+                        break
+                    m_used += 1
+                    self.arch_ptr = aptr
+                    flushed = self._verify_speculative_load(entries[seq],
+                                                            rs_entry, now)
+                    issued += 1
+                    aptr = seq + 1
+                    if flushed:
+                        reason = OTHER
+                        wait_until = self.arch_stall_until
+                        break
+                    if not dynamic_groups and d_stop[seq]:
+                        break
+                    continue
+
+                # Normal in-order execution.
+                code = port_code[seq]
+                if code == 0:          # MEM
+                    if m_used >= m_ports:
+                        reason = OTHER
+                        break
+                elif code == 1:        # ALU: I port with M fallback
+                    if i_used >= i_ports and m_used >= m_ports:
+                        reason = OTHER
+                        break
+                elif code == 2:        # FP / MULDIV
+                    if f_used >= f_ports:
+                        reason = OTHER
+                        break
+                elif code == 3:        # BR
+                    if b_used >= b_ports:
+                        reason = OTHER
+                        break
+                stall = 0
+                load_wait = False
+                for s in d_srcs[seq]:
+                    r = reg_ready[s]
+                    if r > now:
+                        if r > stall:
+                            stall = r
+                        if pending[s] > now:
+                            load_wait = True
+                if stall:
+                    wait_until = stall
+                    if load_wait:
+                        reason = LOAD
+                        trigger = entries[seq]
+                    elif issued == 0:
+                        # Pure operand poll: the break repeats
+                        # identically every cycle until the producers
+                        # complete.
+                        reason = OTHER
+                        wake = wait_until
+                        dq = 1
+                    else:
+                        reason = OTHER
+                    break
+
+                latency = d_lat[seq]
+                l1_miss = False
+                mem = d_mem[seq]
+                if mem:
+                    if d_load[seq]:
+                        result = access(d_addr[seq], now)
+                        latency = result.latency
+                        l1_miss = result.l1_miss
+                        counters["loads_issued"] += 1
+                        if l1_miss:
+                            counters["l1d_load_misses"] += 1
+                            if tel is not None:
+                                tel.cache_miss(now, seq,
+                                               entries[seq].inst.index,
+                                               result.level)
+                    else:
+                        addr = d_addr[seq]
+                        access(addr, now, kind="store")
+                        mem_vals[addr] = d_value[seq]
+
+                done = now + latency
+                stall = 0
+                load_horizon = 0
+                waw_count = 0
+                for d in d_dests[seq]:
+                    r = reg_ready[d]
+                    if r > done:
+                        waw_count += 1
+                        if r > stall:
+                            stall = r
+                        p = pending[d]
+                        if p > now and p > load_horizon:
+                            load_horizon = p
+                if waw_count:
+                    wait_until = stall
+                    reason = LOAD if load_horizon else OTHER
+                    counters["waw_stalls"] += 1
+                    if issued == 0 and not mem and waw_count == 1:
+                        # Pure WAW poll (no cache access to repeat,
+                        # single conflicting register so the category is
+                        # stable).  The stall ends as soon as the
+                        # in-flight writer's completion no longer
+                        # exceeds now + latency.
+                        wake = wait_until - latency
+                        if load_horizon and load_horizon < wake:
+                            wake = load_horizon
+                        dq = 1
+                        waw_poll = 1
+                    break
+
+                if code == 0:
+                    m_used += 1
+                elif code == 1:
+                    if i_used < i_ports:
+                        i_used += 1
+                    else:
+                        m_used += 1
+                elif code == 2:
+                    f_used += 1
+                elif code == 3:
+                    b_used += 1
+                for d in d_dests[seq]:
+                    reg_ready[d] = done
+                    pending[d] = done if l1_miss else 0
+                stats.instructions += 1
+                if tel is not None:
+                    tel.issue(now, seq, entries[seq].inst.index)
+                    self.commit_entry(entries[seq], now)
+                elif replay is not None:
+                    replay.commit(entries[seq])
+                issued += 1
+                aptr = seq + 1
+                if d_branch[seq]:
+                    if frontend.resolve_branch(entries[seq], now):
+                        counters["mispredicts"] += 1
+                        rs.clear_from(seq + 1)
+                        if seq + 1 < self.max_peek:
+                            self.max_peek = seq + 1
+                        if check:
+                            self._invariant(
+                                rs.max_seq() <= seq,
+                                "RS retains entries younger than a "
+                                "mispredict flush", entries[seq])
+                        break
+                if d_stop[seq] and not dynamic_groups:
+                    break
+            self.arch_ptr = aptr
+            # ---- end inlined issue loop ------------------------------
+
+            in_rally = self.mode is RALLY
+            if in_rally:
+                counters["rally_cycles"] += 1
+                if aptr >= self.max_peek and rs.max_seq() < aptr:
+                    self.mode = ARCH
+                    in_rally = False
+
+            front_end_stall = aptr >= frontend.fetched_until
             if issued:
-                self.stats.charge(StallCategory.EXECUTION)
+                c_exec += 1
                 if tel is not None:
-                    tel.charge(now, StallCategory.EXECUTION)
-            elif self.arch_ptr >= frontend.fetched_until:
-                self.stats.charge(StallCategory.FRONT_END)
+                    tel.charge(now, EXECUTION)
+            elif front_end_stall:
+                c_fe += 1
                 if tel is not None:
-                    blocked = entries[self.arch_ptr] \
-                        if self.arch_ptr < n else None
-                    tel.charge(now, StallCategory.FRONT_END,
+                    blocked = entries[aptr] if aptr < n else None
+                    tel.charge(now, FRONT_END,
                                seq=blocked.seq if blocked else -1,
                                pc=blocked.inst.index if blocked else -1)
             else:
-                self.stats.charge(reason or StallCategory.OTHER)
+                if reason is LOAD:
+                    c_load += 1
+                else:
+                    c_other += 1
                 if tel is not None:
-                    blocked = entries[self.arch_ptr]
-                    tel.charge(now, reason or StallCategory.OTHER,
+                    blocked = entries[aptr]
+                    tel.charge(now, reason or OTHER,
                                seq=blocked.seq, pc=blocked.inst.index)
             now += 1
 
             if trigger is not None and wait_until > now:
                 self._enter_advance(trigger, wait_until, now)
+            elif fast and not issued and wake is not None:
+                # A pure stall cycle: every cycle until the wake target
+                # repeats the same poll with the same attribution, so
+                # jump the clock and replicate the poll counters.
+                skip_to = self.next_event_cycle(now, wake, aptr)
+                if now < skip_to < _INF:
+                    k = skip_to - now
+                    if front_end_stall:
+                        c_fe += k
+                    elif reason is LOAD:
+                        c_load += k
+                    else:
+                        c_other += k
+                    if in_rally:
+                        counters["rally_cycles"] += k
+                    if dq:
+                        counters["iq_dequeues"] += k
+                    if waw_poll:
+                        counters["waw_stalls"] += k
+                    now = skip_to
 
+        breakdown = stats.cycle_breakdown
+        breakdown[EXECUTION] += c_exec
+        breakdown[FRONT_END] += c_fe
+        breakdown[LOAD] += c_load
+        breakdown[OTHER] += c_other
+        stats.cycles += c_exec + c_fe + c_load + c_other
         return self.finalize()
 
     def finalize(self) -> SimStats:

@@ -33,11 +33,11 @@ class TwoPassCore(MultipassCore):
 
     def __init__(self, trace: Trace,
                  config: Optional[MachineConfig] = None,
-                 check: bool = False, tracer=None):
+                 check: bool = False, tracer=None, slow: bool = False):
         super().__init__(trace, config, enable_regroup=True,
                          enable_restart=False, persist_results=True,
                          hardware_restart=False, check=check,
-                         tracer=tracer)
+                         tracer=tracer, slow=slow)
 
 
 def simulate_twopass(trace: Trace,

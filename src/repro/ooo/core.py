@@ -26,10 +26,17 @@ from dataclasses import replace
 from typing import Dict, List, Optional
 
 from ..isa.opcodes import FUClass
+from ..isa.registers import NUM_REGS
 from ..isa.trace import Trace, TraceEntry
 from ..machine import MachineConfig
-from ..pipeline.base import BaseCore, SimulationDiverged
+from ..resources import PORT_CODE
+from ..pipeline.base import BaseCore
 from ..pipeline.stats import SimStats, StallCategory
+
+#: Sentinel wake-up target meaning "no in-flight completion at all".
+_INF = 1 << 62
+
+_PORT_CODE = PORT_CODE
 
 
 class _RobEntry:
@@ -65,7 +72,8 @@ class OutOfOrderCore(BaseCore):
 
     def __init__(self, trace: Trace, config: Optional[MachineConfig] = None,
                  decentralized_queues: Optional[int] = None,
-                 ideal: bool = True, check: bool = False, tracer=None):
+                 ideal: bool = True, check: bool = False, tracer=None,
+                 slow: bool = False):
         config = config or MachineConfig()
         # The deeper OOO pipe pays its extra stages on every refill.
         config = replace(
@@ -74,7 +82,8 @@ class OutOfOrderCore(BaseCore):
                                 + config.ooo_extra_stages),
         )
         super().__init__(trace, config, config.ooo_rob, check=check,
-                         tracer=tracer)
+                         tracer=tracer, slow=slow)
+        self._tracker = config.ports.new_tracker()
         self.decentralized_queues = decentralized_queues
         #: The Section 5.1 idealizations: the ideal model performs
         #: scheduling and register-file read in the REG stage (no
@@ -94,135 +103,229 @@ class OutOfOrderCore(BaseCore):
     def run(self, max_cycles: int = 500_000_000) -> SimStats:
         trace = self.trace
         entries = trace.entries
-        n = len(entries)
+        dec = trace.decoded
+        n = dec.n
+        d_ifu = dec.issue_fu
+        d_srcs = dec.srcs
+        d_dests = dec.dests
+        d_sdests = dec.static_dests
+        d_pred = dec.is_predicated
+        d_lat = dec.latency
+        d_mem = dec.mem_exec
+        d_load = dec.is_load
+        d_addr = dec.addr
+        d_branch = dec.is_branch
+        d_pc = dec.pc
         config = self.config
         frontend = self.frontend
         window = config.ooo_window
         rob_capacity = config.ooo_rob
         width = config.ports.width
+        stats = self.stats
+        counters = stats.counters
+        access = self.hierarchy.access
+        wakeup_delay = self.wakeup_delay
+        merge_dests = not self.ideal
+        # Issue-port capacity inlined as plain counters (the PortTracker
+        # ask-then-commit pair is two calls per issued instruction); the
+        # width bound is enforced by the ``issued >= width`` break.
+        ports = config.ports
+        m_ports = ports.m_ports
+        i_ports = ports.i_ports
+        f_ports = ports.f_ports
+        b_ports = ports.b_ports
+        port_code = [_PORT_CODE[fu] for fu in d_ifu]
+        EXECUTION = StallCategory.EXECUTION
+        FRONT_END = StallCategory.FRONT_END
+        LOAD = StallCategory.LOAD
+        # Cycle-category tallies kept in locals (one add per cycle
+        # instead of a method call + enum-keyed dict update); flushed
+        # into stats.cycle_breakdown after the loop.
+        c_exec = c_fe = c_load = c_other = 0
 
         tel = self.tracer if self.tracer.enabled else None
+        replay = self.replay
         rob: List[_RobEntry] = []         # in seq order
         waiting: List[_RobEntry] = []     # un-issued entries, in seq order
-        value_ready: Dict[int, int] = {}  # seq -> result-available cycle
-        last_writer: Dict[int, int] = {}  # reg -> producing seq
-        writer_is_load: Dict[int, bool] = {}
+        # seq -> result-available cycle; 0 means "not issued yet" (real
+        # availability cycles are >= 1, as in the register scoreboards).
+        value_ready = [0] * n
+        # reg -> last producing seq (-1: none); writer_is_load is only
+        # consulted while last_writer points at its seq, so stale slots
+        # are harmless.
+        last_writer = [-1] * NUM_REGS
+        writer_is_load = [False] * NUM_REGS
         dispatch_ptr = 0
         commit_ptr = 0                    # next seq to commit
         now = 0
         queue_cap = self.decentralized_queues
         queue_fill = {"mem": 0, "int": 0, "fp": 0}
-
-        def producer_ready(seq: int) -> bool:
-            ready = value_ready.get(seq)
-            return ready is not None and ready <= now
+        queue_of = self._QUEUE_OF
+        # A zero-issue scan over an unchanged window is a pure poll: its
+        # outcome cannot change until the earliest blocking producer
+        # completes (a squash needs an issue, and newly dispatched
+        # entries join at the tail without unblocking older ones), so
+        # the known-blocked prefix is not re-scanned until then — only
+        # the tail positions added by dispatch.  This is a CPU-time
+        # optimization only; no simulated state is touched by an elided
+        # visit, and blocked_on caches are refreshed at the next full
+        # scan.
+        scan_sleep_until = 0
+        blocked_prefix = 0            # leading waiting slots known blocked
 
         while commit_ptr < n:
             if now > max_cycles:
-                raise SimulationDiverged(
-                    f"{self.model_name} exceeded {max_cycles} cycles on "
-                    f"{trace.program.name}")
-            frontend.tick(now, commit_ptr)
+                self.check_cycle_budget(now, max_cycles)
+            # tick() is a no-op once the whole trace is fetched (its
+            # limit clamps to n); a squash rolls fetched_until back, so
+            # the guard re-arms itself after redirects.
+            if frontend.fetched_until < n:
+                frontend.tick(now, commit_ptr)
 
             # ---- dispatch (rename) ------------------------------------
             dispatched = 0
+            fetched_until = frontend.fetched_until
             while (dispatched < width
-                   and dispatch_ptr < frontend.fetched_until
+                   and dispatch_ptr < fetched_until
                    and len(rob) < rob_capacity):
-                entry = entries[dispatch_ptr]
-                fu = self.issue_fu(entry)
+                seq = dispatch_ptr
+                fu = d_ifu[seq]
                 if queue_cap is not None:
-                    queue = self._QUEUE_OF[fu]
+                    queue = queue_of[fu]
                     if queue_fill[queue] >= queue_cap:
                         break             # in-order dispatch blocks
                     queue_fill[queue] += 1
                 producers = {}
-                for src in entry.srcs:
-                    pseq = last_writer.get(src)
-                    if pseq is not None and not producer_ready(pseq):
-                        producers[pseq] = writer_is_load.get(src, False)
-                static_dests = entry.inst.dests
-                if not self.ideal and entry.inst.is_predicated:
+                for src in d_srcs[seq]:
+                    pseq = last_writer[src]
+                    if pseq >= 0:
+                        r = value_ready[pseq]
+                        if r == 0 or r > now:
+                            producers[pseq] = writer_is_load[src]
+                if merge_dests and d_pred[seq]:
                     # Without predicate renaming, a predicated write must
                     # merge with the destination's previous value.
-                    for dest in static_dests:
-                        pseq = last_writer.get(dest)
-                        if pseq is not None and not producer_ready(pseq):
-                            producers[pseq] = writer_is_load.get(dest,
-                                                                 False)
-                    dest_iter = static_dests
+                    dest_iter = d_sdests[seq]
+                    for dest in dest_iter:
+                        pseq = last_writer[dest]
+                        if pseq >= 0:
+                            r = value_ready[pseq]
+                            if r == 0 or r > now:
+                                producers[pseq] = writer_is_load[dest]
                 else:
-                    dest_iter = entry.dests
+                    dest_iter = d_dests[seq]
+                is_load = d_load[seq]
                 for dest in dest_iter:
-                    last_writer[dest] = entry.seq
-                    writer_is_load[dest] = entry.is_load
-                rob_entry = _RobEntry(entry, producers)
+                    last_writer[dest] = seq
+                    writer_is_load[dest] = is_load
+                rob_entry = _RobEntry(entries[seq], producers)
                 rob.append(rob_entry)
                 waiting.append(rob_entry)
                 dispatch_ptr += 1
                 dispatched += 1
 
             # ---- issue (dataflow select) ------------------------------
-            tracker = config.ports.new_tracker()
             issued = 0
             squash_after = None
-            still_waiting = []
-            for scanned, rob_entry in enumerate(waiting):
-                if issued >= width or scanned >= window \
-                        or squash_after is not None:
-                    still_waiting.extend(waiting[scanned:])
-                    break
-                entry = rob_entry.entry
-                # Fast path: re-check the cached blocking producer first.
-                blocked = rob_entry.blocked_on
-                if blocked is not None:
-                    ready = value_ready.get(blocked)
-                    if ready is None or ready > now:
-                        still_waiting.append(rob_entry)
+            scanned = 0 if now >= scan_sleep_until else blocked_prefix
+            limit = len(waiting)
+            if limit > window:
+                limit = window
+            if scanned < limit:
+                full_scan = scanned == 0
+                m_used = i_used = f_used = b_used = 0
+                retry_min = _INF
+                while scanned < limit:
+                    rob_entry = waiting[scanned]
+                    scanned += 1
+                    seq = rob_entry.seq
+                    # Re-check the cached blocking producer first.
+                    blocked = rob_entry.blocked_on
+                    if blocked is not None:
+                        r = value_ready[blocked]
+                        if r == 0 or r > now:
+                            if 0 < r < retry_min:
+                                retry_min = r
+                            continue
+                        rob_entry.blocked_on = None
+                    for pseq in rob_entry.producers:
+                        r = value_ready[pseq]
+                        if r == 0 or r > now:
+                            rob_entry.blocked_on = pseq
+                            if 0 < r < retry_min:
+                                retry_min = r
+                            break
+                    if rob_entry.blocked_on is not None:
                         continue
-                    rob_entry.blocked_on = None
-                for pseq in rob_entry.producers:
-                    ready = value_ready.get(pseq)
-                    if ready is None or ready > now:
-                        rob_entry.blocked_on = pseq
+                    code = port_code[seq]
+                    if code == 0:          # MEM
+                        if m_used >= m_ports:
+                            continue
+                        m_used += 1
+                    elif code == 1:        # ALU: I port, M fallback
+                        if i_used < i_ports:
+                            i_used += 1
+                        elif m_used < m_ports:
+                            m_used += 1
+                        else:
+                            continue
+                    elif code == 2:        # FP / MULDIV
+                        if f_used >= f_ports:
+                            continue
+                        f_used += 1
+                    elif code == 3:        # BR
+                        if b_used >= b_ports:
+                            continue
+                        b_used += 1
+                    latency = d_lat[seq]
+                    rob_entry.is_load_wait = False
+                    if d_mem[seq]:
+                        if d_load[seq]:
+                            result = access(d_addr[seq], now)
+                            latency = result.latency
+                            rob_entry.is_load_wait = result.l1_miss
+                            counters["loads_issued"] += 1
+                            if result.l1_miss:
+                                counters["l1d_load_misses"] += 1
+                                if tel is not None:
+                                    tel.cache_miss(now, seq, d_pc[seq],
+                                                   result.level)
+                        else:
+                            access(d_addr[seq], now, kind="store")
+                    if tel is not None:
+                        tel.issue(now, seq, d_pc[seq])
+                    rob_entry.issued = True
+                    ready = now + latency
+                    rob_entry.ready = ready
+                    value_ready[seq] = ready + wakeup_delay
+                    if queue_cap is not None:
+                        queue_fill[queue_of[d_ifu[seq]]] -= 1
+                    issued += 1
+                    if d_branch[seq]:
+                        if frontend.resolve_branch(rob_entry.entry, now):
+                            counters["mispredicts"] += 1
+                            squash_after = seq
+                            break
+                    if issued >= width:
                         break
-                if rob_entry.blocked_on is not None:
-                    still_waiting.append(rob_entry)
-                    continue
-                fu = self.issue_fu(entry)
-                if not tracker.can_issue(fu):
-                    still_waiting.append(rob_entry)
-                    continue
-                tracker.issue(fu)
-                latency = entry.inst.spec.latency
-                rob_entry.is_load_wait = False
-                if entry.executed and entry.inst.is_mem:
-                    if entry.is_load:
-                        result = self.hierarchy.access(entry.addr, now)
-                        latency = result.latency
-                        rob_entry.is_load_wait = result.l1_miss
-                        self.stats.counters["loads_issued"] += 1
-                        if result.l1_miss:
-                            self.stats.counters["l1d_load_misses"] += 1
-                            if tel is not None:
-                                tel.cache_miss(now, entry.seq,
-                                               entry.inst.index,
-                                               result.level)
-                    else:
-                        self.hierarchy.access(entry.addr, now, kind="store")
-                if tel is not None:
-                    tel.issue(now, entry.seq, entry.inst.index)
-                rob_entry.issued = True
-                rob_entry.ready = now + latency
-                value_ready[entry.seq] = rob_entry.ready + self.wakeup_delay
-                if queue_cap is not None:
-                    queue_fill[self._QUEUE_OF[fu]] -= 1
-                issued += 1
-                if entry.is_branch:
-                    if frontend.resolve_branch(entry, now):
-                        self.stats.counters["mispredicts"] += 1
-                        squash_after = entry.seq
-            waiting = still_waiting
+                if issued:
+                    # Only now has the waiting list actually changed.
+                    # Issued entries live in the scanned prefix, so only
+                    # that slice needs filtering — the (often much
+                    # longer) unscanned tail shifts down in C.
+                    waiting[:scanned] = [
+                        e for e in waiting[:scanned] if not e.issued]
+                    scan_sleep_until = 0
+                    blocked_prefix = 0
+                else:
+                    # Nothing issuable: this window can only change when
+                    # a blocking producer completes (retry_min) or a
+                    # squash occurs (impossible without an issue); newly
+                    # dispatched tail entries get their own partial scan.
+                    if not full_scan and scan_sleep_until < retry_min:
+                        retry_min = scan_sleep_until
+                    scan_sleep_until = retry_min
+                    blocked_prefix = limit
 
             if squash_after is not None:
                 # Squash wrong-path work younger than the branch.
@@ -232,14 +335,14 @@ class OutOfOrderCore(BaseCore):
                         kept.append(rob_entry)
                         continue
                     if queue_cap is not None and not rob_entry.issued:
-                        fu = self.issue_fu(rob_entry.entry)
-                        queue_fill[self._QUEUE_OF[fu]] -= 1
-                    value_ready.pop(rob_entry.seq, None)
+                        queue_fill[queue_of[d_ifu[rob_entry.seq]]] -= 1
+                    value_ready[rob_entry.seq] = 0
                 rob = kept
                 waiting = [e for e in waiting if e.seq <= squash_after]
                 dispatch_ptr = squash_after + 1
-                last_writer = {r: s for r, s in last_writer.items()
-                               if s <= squash_after}
+                for reg in range(NUM_REGS):
+                    if last_writer[reg] > squash_after:
+                        last_writer[reg] = -1
 
             # ---- commit ------------------------------------------------
             committed = 0
@@ -249,80 +352,123 @@ class OutOfOrderCore(BaseCore):
                     break
                 del rob[0]
                 commit_ptr = head.seq + 1
-                self.stats.instructions += 1
-                self.commit_entry(head.entry, now)
+                stats.instructions += 1
+                if tel is not None:
+                    self.commit_entry(head.entry, now)
+                elif replay is not None:
+                    replay.commit(head.entry)
                 committed += 1
 
             # ---- attribution -------------------------------------------
             if issued:
-                self.stats.charge(StallCategory.EXECUTION)
+                c_exec += 1
                 if tel is not None:
-                    tel.charge(now, StallCategory.EXECUTION)
+                    tel.charge(now, EXECUTION)
             elif not rob:
-                self.stats.charge(StallCategory.FRONT_END)
+                c_fe += 1
                 if tel is not None:
-                    blocked = entries[dispatch_ptr] \
-                        if dispatch_ptr < n else None
-                    tel.charge(now, StallCategory.FRONT_END,
-                               seq=blocked.seq if blocked else -1,
-                               pc=blocked.inst.index if blocked else -1)
+                    has_blocked = dispatch_ptr < n
+                    tel.charge(now, FRONT_END,
+                               seq=dispatch_ptr if has_blocked else -1,
+                               pc=d_pc[dispatch_ptr] if has_blocked else -1)
             else:
                 cause = self._oldest_stall_cause(rob, now, value_ready)
-                self.stats.charge(cause)
+                if cause is LOAD:
+                    c_load += 1
+                else:
+                    c_other += 1
                 if tel is not None:
                     head = rob[0]
                     tel.charge(now, cause, seq=head.seq,
-                               pc=head.entry.inst.index)
+                               pc=d_pc[head.seq])
             now += 1
 
             # ---- idle fast-forward --------------------------------------
+            # Whole-machine quiescence: nothing dispatched, issued or
+            # committed this cycle, so the earliest in-flight completion
+            # bounds the next state change (the next_event_cycle contract,
+            # with dispatch as the consume pointer; --slow disables it).
             if not issued and not committed and not dispatched and rob:
-                wake = self._next_event(rob, frontend, dispatch_ptr, n, now)
-                if wake > now:
+                wake = _INF
+                for rob_entry in rob:
+                    if rob_entry.issued:
+                        # Two horizons per in-flight entry: completion
+                        # (commit eligibility, ``ready``) and wakeup
+                        # (consumers see the value ``wakeup_delay``
+                        # cycles later on the realistic model; for
+                        # in-ROB entries value_ready[seq] is always
+                        # ready + wakeup_delay, so it needs no lookup).
+                        # Events landing exactly on ``now`` count too —
+                        # ``now`` is already the *next* cycle here, and
+                        # an event at ``now`` makes it non-quiescent
+                        # (wake == now vetoes the skip).
+                        r = rob_entry.ready
+                        if r < now:
+                            r += wakeup_delay
+                            if r < now:
+                                continue
+                        if r < wake:
+                            wake = r
+                skip_to = self.next_event_cycle(now, wake, dispatch_ptr)
+                if now < skip_to < _INF:
                     cause = self._oldest_stall_cause(rob, now, value_ready)
-                    self.stats.charge(cause, wake - now)
+                    if cause is LOAD:
+                        c_load += skip_to - now
+                    else:
+                        c_other += skip_to - now
                     if tel is not None:
                         head = rob[0]
                         tel.charge(now, cause, seq=head.seq,
-                                   pc=head.entry.inst.index,
-                                   cycles=wake - now)
-                    now = wake
+                                   pc=d_pc[head.seq],
+                                   cycles=skip_to - now)
+                    now = skip_to
 
+        breakdown = stats.cycle_breakdown
+        breakdown[EXECUTION] += c_exec
+        breakdown[FRONT_END] += c_fe
+        breakdown[LOAD] += c_load
+        breakdown[StallCategory.OTHER] += c_other
+        stats.cycles += c_exec + c_fe + c_load + c_other
         return self.finalize()
 
     # ------------------------------------------------------------------
 
     def _oldest_stall_cause(self, rob: List[_RobEntry], now: int,
-                            value_ready: Dict[int, int]) -> StallCategory:
+                            value_ready: List[int]) -> StallCategory:
         """Attribute a zero-issue cycle to the oldest instruction's cause."""
         head = rob[0]
         if head.issued:
             return (StallCategory.LOAD if head.is_load_wait
                     else StallCategory.OTHER)
         for pseq, is_load in head.producers.items():
-            ready = value_ready.get(pseq)
-            if ready is None or ready > now:
+            ready = value_ready[pseq]
+            if ready == 0 or ready > now:
                 return (StallCategory.LOAD if is_load
                         else StallCategory.OTHER)
         return StallCategory.OTHER   # port conflict or window limit
 
-    def _next_event(self, rob: List[_RobEntry], frontend, dispatch_ptr: int,
-                    n: int, now: int) -> int:
-        """Earliest cycle at which any state can change (for idle skips)."""
-        candidates = []
-        for rob_entry in rob:
-            if rob_entry.issued and rob_entry.ready > now:
-                candidates.append(rob_entry.ready)
-        if dispatch_ptr < n:
-            if frontend.fetched_until > dispatch_ptr:
-                return now               # dispatch could proceed next cycle
-            if frontend.stall_until > now:
-                candidates.append(frontend.stall_until)
-            else:
-                return now               # front end actively fetching
-        if not candidates:
+    def next_event_cycle(self, now: int, wait_until: int,
+                         consume_ptr: int) -> int:
+        """OOO variant of the fast-forward contract.
+
+        Dispatch is bounded by the ROB rather than a fetch-buffer window,
+        so the front-end clamp keys on the dispatch pointer directly: a
+        skip is allowed only while dispatch is starved (nothing fetched
+        beyond it) and fetch itself is either finished or I-stalled —
+        in the latter case the skip is capped at the I-miss fill.
+        """
+        if self.slow or wait_until <= now:
             return now
-        return min(candidates)
+        frontend = self.frontend
+        if consume_ptr < len(self.trace):
+            if frontend.fetched_until > consume_ptr:
+                return now               # dispatch could proceed next cycle
+            stall_until = frontend.stall_until
+            if stall_until <= now:
+                return now               # front end actively fetching
+            if stall_until < wait_until:
+                wait_until = stall_until
+        return wait_until
 
 
 class IdealOOOCore(OutOfOrderCore):
@@ -332,9 +478,9 @@ class IdealOOOCore(OutOfOrderCore):
 
     def __init__(self, trace: Trace,
                  config: Optional[MachineConfig] = None,
-                 check: bool = False, tracer=None):
+                 check: bool = False, tracer=None, slow: bool = False):
         super().__init__(trace, config, decentralized_queues=None,
-                         check=check, tracer=tracer)
+                         check=check, tracer=tracer, slow=slow)
 
 
 class RealisticOOOCore(OutOfOrderCore):
@@ -345,10 +491,10 @@ class RealisticOOOCore(OutOfOrderCore):
     def __init__(self, trace: Trace,
                  config: Optional[MachineConfig] = None,
                  queue_entries: int = 16, check: bool = False,
-                 tracer=None):
+                 tracer=None, slow: bool = False):
         super().__init__(trace, config,
                          decentralized_queues=queue_entries, ideal=False,
-                         check=check, tracer=tracer)
+                         check=check, tracer=tracer, slow=slow)
 
 
 def simulate_ooo(trace: Trace, config: Optional[MachineConfig] = None

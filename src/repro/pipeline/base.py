@@ -7,10 +7,11 @@ memory hierarchy, branch predictor and front end, and produces a
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Tuple
 
 from ..branch.gshare import GsharePredictor
 from ..isa.opcodes import FUClass
+from ..isa.registers import NUM_REGS
 from ..isa.trace import Trace, TraceEntry
 from ..machine import MachineConfig
 from ..telemetry.events import NULL_TRACER
@@ -28,7 +29,8 @@ class BaseCore:
     model_name = "base"
 
     def __init__(self, trace: Trace, config: MachineConfig,
-                 buffer_size: int, check: bool = False, tracer=None):
+                 buffer_size: int, check: bool = False, tracer=None,
+                 slow: bool = False):
         self.trace = trace
         self.config = config
         self.buffer_size = buffer_size
@@ -42,12 +44,20 @@ class BaseCore:
                                  config, buffer_size, tracer=self.tracer)
         self.stats = SimStats(model=self.model_name,
                               workload=trace.program.name)
-        # Architectural scoreboard: absolute ready cycle per register.
-        self.reg_ready: Dict[int, int] = {}
+        # Architectural scoreboard: absolute ready cycle per register id.
+        # Flat integer-indexed lists (register ids are dense, < NUM_REGS);
+        # 0 means "never written" — real ready cycles are always >= 1
+        # because a cycle-0 issue with latency >= 1 completes at >= 1.
+        self.reg_ready = [0] * NUM_REGS
         # Registers whose in-flight producer is a load that missed the L1
         # (consumers stalled on these are charged to the *load* category,
         # and the multipass core suppresses rather than waits for them).
-        self.load_miss_pending: Dict[int, int] = {}
+        # Same encoding: fill cycle, or 0 when no miss is pending.
+        self.load_miss_pending = [0] * NUM_REGS
+        # Reference mode: disable the stall fast-forward and tick every
+        # cycle (``--slow``).  Used by the differential tests that pin
+        # fast-forwarded stats against the naive per-cycle loop.
+        self.slow = slow
         # Runtime invariant checking (the --check flag): every commit is
         # cross-checked against independent re-execution.
         self.check = check
@@ -61,16 +71,15 @@ class BaseCore:
     def unready_sources(self, entry: TraceEntry, now: int):
         """Source registers of ``entry`` that are not ready at ``now``."""
         ready = self.reg_ready
-        return [s for s in entry.srcs if ready.get(s, 0) > now]
+        return [s for s in entry.srcs if ready[s] > now]
 
     def classify_wait(self, unready, now: int
                       ) -> Tuple[StallCategory, int]:
         """Stall category + cycle when all ``unready`` regs become ready."""
-        wait_until = max(self.reg_ready.get(s, 0) for s in unready)
+        ready = self.reg_ready
+        wait_until = max(ready[s] for s in unready)
         pending = self.load_miss_pending
-        is_load_wait = any(
-            s in pending and pending[s] > now for s in unready
-        )
+        is_load_wait = any(pending[s] > now for s in unready)
         category = StallCategory.LOAD if is_load_wait else StallCategory.OTHER
         return category, wait_until
 
@@ -95,12 +104,58 @@ class BaseCore:
                   l1_miss: bool) -> None:
         """Update the scoreboard for the entry's destinations."""
         ready = now + latency
+        reg_ready = self.reg_ready
+        pending = self.load_miss_pending
         for dest in entry.dests:
-            self.reg_ready[dest] = ready
-            if l1_miss:
-                self.load_miss_pending[dest] = ready
-            else:
-                self.load_miss_pending.pop(dest, None)
+            reg_ready[dest] = ready
+            pending[dest] = ready if l1_miss else 0
+
+    # -- fast-forward contract -----------------------------------------------
+
+    def next_event_cycle(self, now: int, wait_until: int,
+                         consume_ptr: int) -> int:
+        """Clamp a stall-skip target to the next cycle with real work.
+
+        The fast-forward contract: a core that has established "nothing
+        can issue before ``wait_until``" may jump the clock there — but
+        only if the front end has no intervening work, because fetch
+        ticks (I-cache probes, buffer fill) happen on the skipped cycles
+        and must be replayed faithfully.  ``consume_ptr`` is the oldest
+        un-issued trace index bounding the fetch window.
+
+        Returns the cycle to skip to (``now`` means: do not skip).
+        Identical attribution is the caller's responsibility — the
+        skipped cycles are charged as one span with the same category a
+        cycle-by-cycle loop would have charged.  ``--slow`` disables
+        skipping entirely.
+        """
+        if self.slow or wait_until <= now:
+            return now
+        return self._frontend_clamp(now, wait_until, consume_ptr)
+
+    def _frontend_clamp(self, now: int, wait_until: int,
+                        consume_ptr: int) -> int:
+        """The frontend-catch-up rule of :meth:`next_event_cycle`, without
+        the ``--slow`` gate (for skips that predate the slow mode and are
+        golden-pinned as spans, like the in-order WAW skip)."""
+        frontend = self.frontend
+        limit = min(len(self.trace), consume_ptr + self.buffer_size)
+        if frontend.fetched_until < limit:
+            # Fetch still has entries to bring in: it either works every
+            # cycle (no skip) or is itself stalled on an I-miss until
+            # ``stall_until`` (skip at most to that point).
+            if frontend.stall_until > now:
+                return min(wait_until, frontend.stall_until)
+            return now
+        return wait_until
+
+    def check_cycle_budget(self, now: int, max_cycles: int) -> None:
+        """Uniform divergence check used by every core's run loop."""
+        if now > max_cycles:
+            raise SimulationDiverged(
+                f"{self.model_name} exceeded max_cycles={max_cycles} "
+                f"(at cycle {now}) on {self.trace.program.name}"
+            )
 
     # -- retirement ----------------------------------------------------------
 

@@ -32,6 +32,9 @@ class FrontEnd:
         self.stall_until = 0          # fetch blocked before this cycle
         self._line_size = hierarchy.config.l1i.line_size
         self._last_line = -1
+        self._n = len(trace)
+        self._fetch_width = config.fetch_width
+        self._inst_bytes = config.instruction_bytes
         self.icache_stall_cycles = 0
         self.redirects = 0
         if config.prewarm_icache:
@@ -66,16 +69,22 @@ class FrontEnd:
             consume_ptr: the oldest un-issued trace index — fetch never
                 runs more than ``buffer_size`` entries ahead of it.
         """
-        if now < self.stall_until:
+        limit = consume_ptr + self.buffer_size
+        if limit > self._n:
+            limit = self._n
+        # Hot early-out: the buffer is full (or the trace exhausted) on
+        # the vast majority of ticks once fetch has caught up.
+        if self.fetched_until >= limit or now < self.stall_until:
             return
-        n_trace = len(self.trace)
-        limit = min(n_trace, consume_ptr + self.buffer_size)
         fetched = 0
         tracer = self.tracer if self.tracer.enabled else None
-        while fetched < self.config.fetch_width and self.fetched_until < limit:
-            entry = self.trace[self.fetched_until]
-            addr = entry.inst.index * self.config.instruction_bytes
-            line = addr // self._line_size
+        inst_bytes = self._inst_bytes
+        line_size = self._line_size
+        entries = self.trace.entries
+        while fetched < self._fetch_width and self.fetched_until < limit:
+            entry = entries[self.fetched_until]
+            addr = entry.inst.index * inst_bytes
+            line = addr // line_size
             if line != self._last_line:
                 result = self.hierarchy.access(addr, now, kind="ifetch")
                 self._last_line = line

@@ -5,7 +5,9 @@ cycle, stall-on-use when an operand is not ready, scoreboarded WAW stalls
 for variable-latency writers (Section 3.5), non-blocking stores, and a
 gshare-driven front end.  Long stalls are fast-forwarded when neither the
 front end nor the memory system has intervening work, which does not change
-cycle counts — only wall-clock simulation time.
+cycle counts — only wall-clock simulation time.  The inner loop reads the
+decoded-trace cache (:mod:`repro.isa.decoded`) instead of per-entry
+properties.
 """
 
 from __future__ import annotations
@@ -14,7 +16,8 @@ from typing import Optional
 
 from ..isa.trace import Trace
 from ..machine import MachineConfig
-from .base import BaseCore, SimulationDiverged
+from ..resources import PORT_CODE
+from .base import BaseCore
 from .stats import SimStats, StallCategory
 
 
@@ -24,130 +27,214 @@ class InOrderCore(BaseCore):
     model_name = "inorder"
 
     def __init__(self, trace: Trace, config: Optional[MachineConfig] = None,
-                 check: bool = False, tracer=None):
+                 check: bool = False, tracer=None, slow: bool = False):
         config = config or MachineConfig()
         super().__init__(trace, config, config.inorder_buffer_size,
-                         check=check, tracer=tracer)
+                         check=check, tracer=tracer, slow=slow)
 
     def run(self, max_cycles: int = 500_000_000) -> SimStats:
         trace = self.trace
         entries = trace.entries
-        n = len(entries)
+        dec = trace.decoded
+        n = dec.n
         frontend = self.frontend
-        tracker = self.config.ports.new_tracker()
+        ports = self.config.ports
+        width = ports.width
+        m_ports = ports.m_ports
+        i_ports = ports.i_ports
+        f_ports = ports.f_ports
+        b_ports = ports.b_ports
+        port_code = [PORT_CODE[fu] for fu in dec.issue_fu]
         reg_ready = self.reg_ready
+        pending = self.load_miss_pending
+        stats = self.stats
+        counters = stats.counters
+        access = self.hierarchy.access
+        d_srcs = dec.srcs
+        d_dests = dec.dests
+        d_lat = dec.latency
+        d_mem = dec.mem_exec
+        d_load = dec.is_load
+        d_addr = dec.addr
+        d_branch = dec.is_branch
+        d_stop = dec.stop
+        d_pc = dec.pc
         tel = self.tracer if self.tracer.enabled else None
+        replay = self.replay
+        EXECUTION = StallCategory.EXECUTION
+        FRONT_END = StallCategory.FRONT_END
+        LOAD = StallCategory.LOAD
+        OTHER = StallCategory.OTHER
+        # Per-category cycle tallies kept in locals, flushed into the
+        # stats once after the loop — identical totals to per-cycle
+        # charge() without a method call + enum-dict update per cycle.
+        c_exec = c_fe = c_load = c_other = 0
         now = 0
         ptr = 0
 
         while ptr < n:
             if now > max_cycles:
-                raise SimulationDiverged(
-                    f"inorder exceeded {max_cycles} cycles on "
-                    f"{trace.program.name}"
-                )
-            frontend.tick(now, ptr)
-            tracker.reset()
+                self.check_cycle_budget(now, max_cycles)
+            # tick() is a no-op once the whole trace is fetched (its
+            # limit clamps to n); a redirect rolls fetched_until back,
+            # so the guard re-arms itself.
+            if frontend.fetched_until < n:
+                frontend.tick(now, ptr)
+            m_used = i_used = f_used = b_used = 0
             issued = 0
             reason = None
             wait_until = now + 1
+            waw_break = False
 
             while ptr < frontend.fetched_until:
-                entry = entries[ptr]
-                inst = entry.inst
-                fu = self.issue_fu(entry)
-                if not tracker.can_issue(fu):
-                    reason = StallCategory.OTHER
+                i = ptr
+                code = port_code[i]
+                if issued >= width:
+                    reason = OTHER
+                    break
+                if code == 0:          # MEM
+                    if m_used >= m_ports:
+                        reason = OTHER
+                        break
+                elif code == 1:        # ALU: I port with M fallback
+                    if i_used >= i_ports and m_used >= m_ports:
+                        reason = OTHER
+                        break
+                elif code == 2:        # FP / MULDIV
+                    if f_used >= f_ports:
+                        reason = OTHER
+                        break
+                elif code == 3:        # BR
+                    if b_used >= b_ports:
+                        reason = OTHER
+                        break
+
+                stall = 0
+                load_wait = False
+                for s in d_srcs[i]:
+                    r = reg_ready[s]
+                    if r > now:
+                        if r > stall:
+                            stall = r
+                        if pending[s] > now:
+                            load_wait = True
+                if stall:
+                    wait_until = stall
+                    reason = LOAD if load_wait else OTHER
                     break
 
-                unready = self.unready_sources(entry, now)
-                if unready:
-                    reason, wait_until = self.classify_wait(unready, now)
-                    break
-
-                latency = inst.spec.latency
+                latency = d_lat[i]
                 l1_miss = False
-                if entry.executed and entry.inst.is_mem:
-                    if entry.is_load:
-                        result = self.hierarchy.access(entry.addr, now)
+                if d_mem[i]:
+                    if d_load[i]:
+                        result = access(d_addr[i], now)
                         latency = result.latency
                         l1_miss = result.l1_miss
-                        self.stats.counters["loads_issued"] += 1
+                        counters["loads_issued"] += 1
                         if l1_miss:
-                            self.stats.counters["l1d_load_misses"] += 1
+                            counters["l1d_load_misses"] += 1
                             if tel is not None:
-                                tel.cache_miss(now, entry.seq, inst.index,
+                                tel.cache_miss(now, i, d_pc[i],
                                                result.level)
                     else:
-                        self.hierarchy.access(entry.addr, now, kind="store")
+                        access(d_addr[i], now, kind="store")
 
                 # Scoreboarded WAW: a shorter-latency writer may not
                 # complete before an in-flight longer-latency one.
-                waw_conflict = [
-                    d for d in entry.dests
-                    if reg_ready.get(d, 0) > now + latency
-                ]
-                if waw_conflict:
-                    reason, wait_until = self.classify_wait(waw_conflict,
-                                                            now)
-                    self.stats.counters["waw_stalls"] += 1
+                done = now + latency
+                stall = 0
+                load_wait = False
+                for d in d_dests[i]:
+                    r = reg_ready[d]
+                    if r > done:
+                        if r > stall:
+                            stall = r
+                        if pending[d] > now:
+                            load_wait = True
+                if stall:
+                    wait_until = stall
+                    reason = LOAD if load_wait else OTHER
+                    counters["waw_stalls"] += 1
+                    waw_break = True
                     break
 
-                tracker.issue(fu)
-                self.writeback(entry, now, latency, l1_miss)
-                self.stats.instructions += 1
+                if code == 0:
+                    m_used += 1
+                elif code == 1:
+                    if i_used < i_ports:
+                        i_used += 1
+                    else:
+                        m_used += 1
+                elif code == 2:
+                    f_used += 1
+                elif code == 3:
+                    b_used += 1
+                for d in d_dests[i]:
+                    reg_ready[d] = done
+                    pending[d] = done if l1_miss else 0
+                stats.instructions += 1
                 if tel is not None:
-                    tel.issue(now, entry.seq, inst.index)
-                self.commit_entry(entry, now)
+                    tel.issue(now, i, d_pc[i])
+                    self.commit_entry(entries[i], now)
+                elif replay is not None:
+                    replay.commit(entries[i])
                 issued += 1
-                ptr += 1
-                if entry.is_branch:
-                    if frontend.resolve_branch(entry, now):
-                        self.stats.counters["mispredicts"] += 1
+                ptr = i + 1
+                if d_branch[i]:
+                    if frontend.resolve_branch(entries[i], now):
+                        counters["mispredicts"] += 1
                         break
-                if inst.stop:
+                if d_stop[i]:
                     break  # issue-group boundary ends the cycle
 
             if issued:
-                self.stats.charge(StallCategory.EXECUTION)
+                c_exec += 1
                 if tel is not None:
-                    tel.charge(now, StallCategory.EXECUTION)
+                    tel.charge(now, EXECUTION)
             elif ptr >= frontend.fetched_until:
-                self.stats.charge(StallCategory.FRONT_END)
+                c_fe += 1
                 if tel is not None:
-                    blocked = entries[ptr] if ptr < n else None
-                    tel.charge(now, StallCategory.FRONT_END,
-                               seq=blocked.seq if blocked else -1,
-                               pc=blocked.inst.index if blocked else -1)
+                    has_blocked = ptr < n
+                    tel.charge(now, FRONT_END,
+                               seq=ptr if has_blocked else -1,
+                               pc=d_pc[ptr] if has_blocked else -1)
+            elif reason is LOAD:
+                c_load += 1
+                if tel is not None:
+                    tel.charge(now, LOAD, seq=ptr, pc=d_pc[ptr])
             else:
-                self.stats.charge(reason or StallCategory.OTHER)
+                c_other += 1
                 if tel is not None:
-                    blocked = entries[ptr]
-                    tel.charge(now, reason or StallCategory.OTHER,
-                               seq=blocked.seq, pc=blocked.inst.index)
+                    tel.charge(now, reason or OTHER, seq=ptr, pc=d_pc[ptr])
             now += 1
 
             # Fast-forward a long operand stall when nothing else can
             # happen: the attribution for the skipped cycles is identical.
-            if not issued and reason in (StallCategory.LOAD,
-                                         StallCategory.OTHER) \
-                    and wait_until > now:
-                skip_to = wait_until
-                limit = min(n, ptr + self.buffer_size)
-                if frontend.fetched_until < limit:
-                    if frontend.stall_until > now:
-                        skip_to = min(wait_until, frontend.stall_until)
-                    else:
-                        skip_to = now  # front end still fetching
+            # The WAW skip predates the --slow mode and is golden-pinned
+            # as a span (a per-cycle retry would repeat the cache access),
+            # so it stays on even in --slow.
+            if not issued and wait_until > now \
+                    and (reason is LOAD or reason is OTHER):
+                if waw_break:
+                    skip_to = self._frontend_clamp(now, wait_until, ptr)
+                else:
+                    skip_to = self.next_event_cycle(now, wait_until, ptr)
                 if skip_to > now:
-                    self.stats.charge(reason, skip_to - now)
+                    if reason is LOAD:
+                        c_load += skip_to - now
+                    else:
+                        c_other += skip_to - now
                     if tel is not None:
-                        blocked = entries[ptr]
-                        tel.charge(now, reason, seq=blocked.seq,
-                                   pc=blocked.inst.index,
+                        tel.charge(now, reason, seq=ptr, pc=d_pc[ptr],
                                    cycles=skip_to - now)
                     now = skip_to
 
+        breakdown = stats.cycle_breakdown
+        breakdown[EXECUTION] += c_exec
+        breakdown[FRONT_END] += c_fe
+        breakdown[LOAD] += c_load
+        breakdown[OTHER] += c_other
+        stats.cycles += c_exec + c_fe + c_load + c_other
         return self.finalize()
 
 

@@ -35,10 +35,10 @@ class RunaheadCore(MultipassCore):
 
     def __init__(self, trace: Trace,
                  config: Optional[MachineConfig] = None,
-                 check: bool = False, tracer=None):
+                 check: bool = False, tracer=None, slow: bool = False):
         super().__init__(trace, config, enable_regroup=False,
                          enable_restart=False, persist_results=False,
-                         check=check, tracer=tracer)
+                         check=check, tracer=tracer, slow=slow)
 
     def _enter_rally(self, now: int) -> None:
         """Exiting runahead restores the checkpointed state and refetches

@@ -1,0 +1,47 @@
+"""Unified ``max_cycles`` divergence handling across all five cores.
+
+Every run loop routes its budget check through
+``BaseCore.check_cycle_budget``, so a runaway simulation raises
+:class:`SimulationDiverged` with the model name, the budget, the cycle
+it tripped at and the workload — regardless of model and regardless of
+whether the stall fast-forward jumped the clock past the budget.
+"""
+
+import pytest
+
+from repro.harness.experiment import MODEL_FACTORIES, TraceCache
+from repro.pipeline import SimulationDiverged
+
+MODELS = sorted(MODEL_FACTORIES)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return TraceCache(scale=0.05).trace("vpr")
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_budget_overrun_raises_with_context(model, trace):
+    core = MODEL_FACTORIES[model](trace, None)
+    with pytest.raises(SimulationDiverged) as excinfo:
+        core.run(max_cycles=3)
+    message = str(excinfo.value)
+    assert core.model_name in message
+    assert "max_cycles=3" in message
+    assert "at cycle" in message
+    assert trace.program.name in message
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_budget_overrun_raises_in_slow_mode(model, trace):
+    """The reference loop shares the same divergence path."""
+    core = MODEL_FACTORIES[model](trace, None, slow=True)
+    with pytest.raises(SimulationDiverged) as excinfo:
+        core.run(max_cycles=3)
+    assert core.model_name in str(excinfo.value)
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_sufficient_budget_completes(model, trace):
+    stats = MODEL_FACTORIES[model](trace, None).run()
+    assert stats.cycles > 3
