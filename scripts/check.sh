@@ -2,8 +2,10 @@
 # Full verification gate: static lint -> type check -> tier-1 tests ->
 # differential equivalence over the two fastest workloads.
 #
-# ruff and mypy are optional (the CI image may not ship them); each is
-# skipped with a notice when absent so the gate stays runnable anywhere.
+# ruff and mypy are optional locally (skipped with a notice when absent,
+# so the gate stays runnable anywhere); under REPRO_CI=1 a missing tool
+# is a gate FAILURE — CI images must install the [dev] extra, which pins
+# both (pyproject.toml).
 set -u
 
 cd "$(dirname "$0")/.."
@@ -16,18 +18,29 @@ step() {
     echo "==> $*"
 }
 
+# require <tool>: 0 if the tool must run and is present, 1 to skip.
+# Missing tools only skip outside CI; in CI they count as failures.
+require() {
+    if command -v "$1" >/dev/null 2>&1; then
+        return 0
+    fi
+    if [ "${REPRO_CI:-0}" = "1" ]; then
+        echo "$1 not installed but REPRO_CI=1: FAIL (pip install -e .[dev])"
+        failures=$((failures + 1))
+    else
+        echo "$1 not installed; skipping"
+    fi
+    return 1
+}
+
 step "ruff (static lint)"
-if command -v ruff >/dev/null 2>&1; then
+if require ruff; then
     ruff check src tests || failures=$((failures + 1))
-else
-    echo "ruff not installed; skipping"
 fi
 
 step "mypy (type check)"
-if command -v mypy >/dev/null 2>&1; then
+if require mypy; then
     mypy || failures=$((failures + 1))
-else
-    echo "mypy not installed; skipping"
 fi
 
 step "pytest (tier-1 suite)"
@@ -43,6 +56,9 @@ python -m repro lint || failures=$((failures + 1))
 
 step "repro diffcheck (differential equivalence: vpr, parser)"
 python -m repro diffcheck vpr parser || failures=$((failures + 1))
+
+step "repro audit --smoke (static cycle-bound oracle)"
+python -m repro audit --smoke --strict || failures=$((failures + 1))
 
 step "repro sweep --smoke (parallel engine + result cache end-to-end)"
 smoke_cache="$(mktemp -d)"

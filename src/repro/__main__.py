@@ -22,9 +22,16 @@ Commands:
 * ``workloads`` — list the packaged SPEC-like kernels.
 * ``models``    — list the available timing models.
 * ``figures``   — regenerate a paper figure/table by name.
-* ``lint``      — run the static program verifier over workloads.
+* ``lint``      — run the static program verifier over workloads
+  (``--json`` for machine-readable output; exit code 1 only for
+  errors, or for warnings too under ``--strict``).
+* ``audit``     — assert the static cycle lower bound against the
+  simulated cycles of every model x workload cell (``--smoke`` for the
+  fast check.sh variant, ``--slack`` for per-instruction slack/
+  ineffectuality profiles).
 * ``diffcheck`` — differentially execute all simulators and assert
-  identical final architectural state.
+  identical final architectural state (and per-model cycle-bound
+  soundness).
 
 ``--parallel`` defaults to ``$REPRO_JOBS`` (``auto`` = one worker per
 CPU) and ``--results-cache`` to ``$REPRO_RESULTS_CACHE``; both default
@@ -134,7 +141,8 @@ def _cmd_sweep(args) -> int:
 
     report = sweep(models, workloads, scale=scale, jobs=jobs,
                    results_cache=args.results_cache,
-                   timeout=args.timeout, telemetry=args.telemetry)
+                   timeout=args.timeout, telemetry=args.telemetry,
+                   audit=args.audit)
     matrix = report.matrix
     # Failed cells show the exception class in place of a cycle count.
     failed = {(f.workload, f.model):
@@ -217,6 +225,7 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    from .analysis import diagnostics as dc
     from .analysis.verifier import verify_compiled, verify_program
     from .compiler import CompileOptions, compile_program
     from .workloads import build_workload
@@ -227,21 +236,74 @@ def _cmd_lint(args) -> int:
         print(f"repro lint: unknown workload(s) {unknown}; "
               f"available: {sorted(ALL_WORKLOADS)}", file=sys.stderr)
         return 2
-    total = 0
+    n_errors = n_warnings = 0
+    doc = {"scale": args.scale, "workloads": {}}
     for name in workloads:
         program = build_workload(name, args.scale, verify=False)
         diags = list(verify_program(program))
         compiled = compile_program(program, CompileOptions())
         diags += [d for d in verify_compiled(compiled)]
+        n_errors += len(dc.errors(diags))
+        n_warnings += len(dc.warnings(diags))
+        if args.json:
+            doc["workloads"][name] = {
+                "source_instructions": len(program),
+                "compiled_instructions": len(compiled),
+                "diagnostics": [d.to_dict() for d in diags],
+            }
+            continue
         for diag in diags:
             print(diag.render(name))
-        total += len(diags)
         status = "ok" if not diags else f"{len(diags)} finding(s)"
         print(f"{name:>8}: {len(program)} source / {len(compiled)} "
               f"compiled instructions — {status}")
-    print(f"\nlint: {total} diagnostic(s) across {len(workloads)} "
-          f"workload(s)")
-    return 1 if total else 0
+    if args.json:
+        import json
+
+        doc["errors"] = n_errors
+        doc["warnings"] = n_warnings
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(f"\nlint: {n_errors} error(s), {n_warnings} warning(s) "
+              f"across {len(workloads)} workload(s)")
+    if n_errors:
+        return 1
+    return 1 if (n_warnings and args.strict) else 0
+
+
+def _cmd_audit(args) -> int:
+    from .analysis.audit import audit_matrix
+
+    models = args.models
+    workloads = args.workloads
+    scale = args.scale
+    if args.smoke:
+        # Fast end-to-end exercise of the oracle for check.sh.
+        models = models or ["inorder", "multipass"]
+        workloads = workloads or ["vpr", "parser"]
+        scale = scale if scale is not None else 0.05
+    models = models or sorted(MODEL_FACTORIES)
+    workloads = workloads or list(ALL_WORKLOADS)
+    scale = scale if scale is not None else 0.1
+    unknown = [w for w in workloads if w not in ALL_WORKLOADS]
+    if unknown:
+        print(f"repro audit: unknown workload(s) {unknown}; "
+              f"available: {sorted(ALL_WORKLOADS)}", file=sys.stderr)
+        return 2
+
+    report = audit_matrix(models, workloads, scale=scale,
+                          parallel=args.parallel,
+                          results_cache=args.results_cache,
+                          slack_workloads=args.slack or ())
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if report.violations:
+        return 1
+    return 1 if (report.unverified and args.strict) else 0
 
 
 def _cmd_diffcheck(args) -> int:
@@ -424,6 +486,11 @@ def main(argv=None) -> int:
     swp.add_argument("--telemetry", action="store_true",
                      help="collect aggregated telemetry per simulated "
                           "cell (skips result-cache reads)")
+    swp.add_argument("--audit", action="store_true",
+                     help="post-check every cell against the static "
+                          "cycle lower bound; violations become "
+                          "AuditViolation failure rows (skips "
+                          "result-cache reads)")
     _add_engine_flags(swp)
     swp.set_defaults(fn=_cmd_sweep)
 
@@ -469,7 +536,38 @@ def main(argv=None) -> int:
     lint.add_argument("workloads", nargs="*", metavar="workload",
                       help="workloads to lint (default: all)")
     lint.add_argument("--scale", type=float, default=0.05)
+    lint.add_argument("--json", action="store_true",
+                      help="emit machine-readable JSON diagnostics")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit nonzero on warnings too, not just "
+                           "errors")
     lint.set_defaults(fn=_cmd_lint)
+
+    audit = sub.add_parser("audit")
+    audit.add_argument("workloads", nargs="*", metavar="workload",
+                       help="workloads to audit (default: all)")
+    audit.add_argument("--models", nargs="+",
+                       choices=sorted({**MODEL_FACTORIES,
+                                       **ABLATION_FACTORIES}),
+                       help="models to audit (default: the five "
+                            "primary models)")
+    audit.add_argument("--scale", type=float, default=None,
+                       help="workload scale (default 0.1)")
+    audit.add_argument("--smoke", action="store_true",
+                       help="fast two-workload, two-model audit at "
+                            "scale 0.05 (check.sh target)")
+    audit.add_argument("--slack", nargs="+", metavar="WORKLOAD",
+                       choices=ALL_WORKLOADS,
+                       help="also print the per-instruction slack/"
+                            "ineffectuality profile of these workloads")
+    audit.add_argument("--json", action="store_true",
+                       help="emit a machine-readable JSON report")
+    audit.add_argument("--strict", action="store_true",
+                       help="exit nonzero when cells could not be "
+                            "verified (simulation failures), not just "
+                            "on bound violations")
+    _add_engine_flags(audit)
+    audit.set_defaults(fn=_cmd_audit)
 
     diff = sub.add_parser("diffcheck")
     diff.add_argument("workloads", nargs="*", metavar="workload",

@@ -1,36 +1,79 @@
 """Static-analysis and verification layer.
 
-Three tools guard the reproduction's correctness contracts:
+The layer is built around a shared CFG (:mod:`~repro.analysis.cfg`) and
+a generic worklist dataflow solver (:mod:`~repro.analysis.dataflow`)
+whose instances — reaching definitions, liveness, must-defined — power
+both the compiler's def-use graph and the lint rules.  On top of it,
+four tools guard the reproduction's correctness contracts:
 
 * :mod:`~repro.analysis.verifier` — dataflow lint over sealed programs
-  (use-before-def, dead writes, unreachable code, label/branch integrity,
-  memory-image alignment, RESTART legality, issue-group legality);
+  (use-before-def, dead writes, unreachable code, no-exit loops,
+  label/branch integrity, memory-image alignment, RESTART legality and
+  redundancy, issue-group legality);
 * :mod:`~repro.analysis.passes_check` — per-stage verification of the
   compiler pass pipeline with def-use-chain diffing;
 * :mod:`~repro.analysis.equivalence` — differential execution of every
   simulator with runtime invariant checking
-  (:mod:`~repro.analysis.invariants`).
+  (:mod:`~repro.analysis.invariants`);
+* :mod:`~repro.analysis.bounds` / :mod:`~repro.analysis.audit` — the
+  static critical-path estimator and the cycle-bound oracle asserting
+  ``static_lower_bound <= simulated_cycles`` for every model x workload
+  cell.
 
-CLI entry points: ``python -m repro lint`` and ``python -m repro
-diffcheck``.
+CLI entry points: ``python -m repro lint``, ``python -m repro
+diffcheck`` and ``python -m repro audit``.
 """
 
-from .diagnostics import (Diagnostic, InvariantError, Severity,
-                          VerifierError, errors, render_all)
+from .audit import (AuditCell, AuditReport, AuditViolation, audit_matrix,
+                    check_bound)
+from .bounds import (CycleBound, SlackReport, cycle_lower_bound,
+                     slack_report)
+from .cfg import CFG, BasicBlock, Loop, build_cfg, loops, no_exit_loops
+from .dataflow import (DataflowProblem, DataflowSolution, DefUseChains,
+                       LiveVariables, MustDefined, ReachingDefinitions,
+                       solve)
+from .diagnostics import (Diagnostic, DiagnosticSpec, InvariantError,
+                          Severity, VerifierError, errors, registry,
+                          render_all, warnings)
 from .invariants import ArchReplay
 from .verifier import (VerifyOptions, assert_valid, verify_compiled,
                        verify_program)
 
 __all__ = [
     "ArchReplay",
+    "AuditCell",
+    "AuditReport",
+    "AuditViolation",
+    "BasicBlock",
+    "CFG",
+    "CycleBound",
+    "DataflowProblem",
+    "DataflowSolution",
+    "DefUseChains",
     "Diagnostic",
+    "DiagnosticSpec",
     "InvariantError",
+    "LiveVariables",
+    "Loop",
+    "MustDefined",
+    "ReachingDefinitions",
     "Severity",
+    "SlackReport",
     "VerifierError",
     "VerifyOptions",
     "assert_valid",
+    "audit_matrix",
+    "build_cfg",
+    "check_bound",
+    "cycle_lower_bound",
     "errors",
+    "loops",
+    "no_exit_loops",
+    "registry",
     "render_all",
+    "slack_report",
+    "solve",
     "verify_compiled",
     "verify_program",
+    "warnings",
 ]

@@ -1,0 +1,80 @@
+"""Control-flow analyses over sealed programs.
+
+The basic-block partition itself lives in :mod:`repro.compiler.cfg`
+(one :class:`~repro.compiler.cfg.CFG` implementation serves the
+compiler passes and the analysis stack); this module re-exports it and
+adds the graph-level analyses the lint rules and the cycle-bound
+oracle need:
+
+* :func:`loops` — the strongly connected components of the block
+  graph, each annotated with its entry blocks and exit edges;
+* :func:`no_exit_loops` — loops from which no path leaves, the static
+  signature of a program that cannot terminate once the loop is
+  entered (lint code ``CFG001``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..compiler.cfg import CFG, BasicBlock, build_cfg
+from ..compiler.scc import nontrivial_sccs
+
+__all__ = [
+    "BasicBlock", "CFG", "Loop", "build_cfg", "loops", "no_exit_loops",
+]
+
+
+@dataclass
+class Loop:
+    """One cycle in the block graph (a nontrivial CFG SCC).
+
+    Attributes:
+        blocks: member block ids, sorted.
+        headers: member blocks with a predecessor outside the loop —
+            the blocks through which the loop is entered.
+        exits: ``(from_block, to_block)`` edges leaving the loop.
+    """
+
+    blocks: List[int]
+    headers: List[int]
+    exits: List[Tuple[int, int]]
+
+    @property
+    def has_exit(self) -> bool:
+        return bool(self.exits)
+
+
+def loops(cfg: CFG) -> List[Loop]:
+    """All cycles of the block graph, innermost-first (Tarjan order)."""
+    adjacency = {block.bid: block.succs for block in cfg}
+    found: List[Loop] = []
+    for component in nontrivial_sccs(adjacency):
+        members: Set[int] = set(component)
+        headers = sorted(
+            bid for bid in members
+            if bid == 0 or any(p not in members
+                               for p in cfg.blocks[bid].preds))
+        exits = sorted(
+            (bid, succ) for bid in members
+            for succ in cfg.blocks[bid].succs if succ not in members)
+        found.append(Loop(blocks=sorted(members), headers=headers,
+                          exits=exits))
+    return found
+
+
+def no_exit_loops(cfg: CFG,
+                  reachable: Optional[Set[int]] = None) -> List[Loop]:
+    """Loops with no exit edge: entering one means never halting.
+
+    ``reachable`` restricts the report to loops the entry can actually
+    reach (pass block ids from :meth:`CFG.reachable_blocks`); loops in
+    unreachable code are already flagged instruction-by-instruction by
+    the ``UNR001`` rule.
+    """
+    if reachable is None:
+        reachable = set(cfg.reachable_blocks())
+    return [loop for loop in loops(cfg)
+            if not loop.has_exit
+            and any(bid in reachable for bid in loop.blocks)]

@@ -1,0 +1,326 @@
+"""Generic worklist dataflow solver and its standard instances.
+
+One iterative solver (:func:`solve`) drives every register dataflow
+analysis in the repository.  A :class:`DataflowProblem` packages the
+direction, the meet operator, the boundary/initial values and the
+per-block transfer function; the solver iterates blocks in reverse
+postorder (forward problems) or its reverse (backward problems) until a
+fixpoint and returns per-block IN/OUT values.
+
+Three instances cover the static checks the simulators rely on:
+
+* :class:`ReachingDefinitions` — which definition sites may reach each
+  block (forward, may).  :meth:`ReachingDefinitions.def_use_chains`
+  materializes the def-use graph that powers the compiler's
+  advance-restart heuristic (:mod:`repro.compiler.dataflow` delegates
+  here) and the verifier's RESTART legality checks.
+* :class:`LiveVariables` — which registers may still be read (backward,
+  may).  Drives the dead-write lint (``DWR001``).
+* :class:`MustDefined` — which registers are definitely written on
+  every path from the entry (forward, must).  Drives the
+  use-before-def lint (``UBD001``).
+
+All instances exclude the hardwired registers (``r0``/``p0``), whose
+values are architectural constants.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..compiler.cfg import CFG, build_cfg
+from ..isa.program import Program
+from ..isa.registers import HARDWIRED, NUM_REGS
+
+#: A definition site: (instruction index, register id).
+Definition = Tuple[int, int]
+
+#: All non-hardwired register ids, the universe of the register lattices.
+ALL_REGS: FrozenSet[int] = frozenset(range(NUM_REGS)) - HARDWIRED
+
+
+def defs_and_uses(program: Program
+                  ) -> Tuple[List[Tuple[int, ...]], List[Tuple[int, ...]]]:
+    """Per-instruction written and read register tuples, hardwired excluded.
+
+    Reads include the qualifying predicate of predicated instructions
+    (nullification requires the predicate's value).
+    """
+    defs: List[Tuple[int, ...]] = []
+    uses: List[Tuple[int, ...]] = []
+    for inst in program:
+        defs.append(tuple(d for d in inst.dests if d not in HARDWIRED))
+        uses.append(tuple(s for s in inst.read_regs()
+                          if s not in HARDWIRED))
+    return defs, uses
+
+
+class DataflowProblem:
+    """One dataflow analysis: direction, lattice and transfer function.
+
+    Values are frozensets; subclasses define what the elements mean.
+    ``direction`` is ``"forward"`` (IN from predecessors' OUT) or
+    ``"backward"`` (OUT from successors' IN).
+    """
+
+    direction = "forward"
+
+    def boundary(self) -> FrozenSet:
+        """Value at the entry (forward) / at exit blocks (backward)."""
+        return frozenset()
+
+    def initial(self) -> FrozenSet:
+        """Optimistic starting value for every non-boundary block."""
+        return frozenset()
+
+    def meet(self, values: List[FrozenSet]) -> FrozenSet:
+        """Combine flow values at a join point (default: may/union)."""
+        out: Set = set()
+        for value in values:
+            out |= value
+        return frozenset(out)
+
+    def transfer(self, bid: int, value: FrozenSet) -> FrozenSet:
+        """Flow ``value`` through block ``bid``."""
+        raise NotImplementedError
+
+
+@dataclass
+class DataflowSolution:
+    """Fixpoint of one problem: per-block IN and OUT values.
+
+    For forward problems IN is the meet over predecessors and OUT the
+    transferred value; for backward problems OUT is the meet over
+    successors and IN the transferred value.
+    """
+
+    cfg: CFG
+    in_of: List[FrozenSet]
+    out_of: List[FrozenSet]
+
+
+def solve(cfg: CFG, problem: DataflowProblem) -> DataflowSolution:
+    """Run the worklist algorithm to a fixpoint and return the solution.
+
+    Blocks are seeded in reverse postorder (forward) or its reverse
+    (backward) so acyclic regions converge in one sweep; only blocks
+    whose inputs changed are revisited.
+    """
+    n = len(cfg)
+    in_of: List[FrozenSet] = [problem.initial() for _ in range(n)]
+    out_of: List[FrozenSet] = [problem.initial() for _ in range(n)]
+    if n == 0:
+        return DataflowSolution(cfg, in_of, out_of)
+
+    forward = problem.direction == "forward"
+    order = cfg.reverse_postorder()
+    if not forward:
+        order = list(reversed(order))
+    # Unreachable blocks never appear in the RPO; give them one
+    # deterministic visit at the end so their values are still defined.
+    order += [b.bid for b in cfg if b.bid not in set(order)]
+
+    def inputs_of(bid: int) -> List[int]:
+        block = cfg.blocks[bid]
+        return block.preds if forward else block.succs
+
+    def outputs_of(bid: int) -> List[int]:
+        block = cfg.blocks[bid]
+        return block.succs if forward else block.preds
+
+    def is_boundary(bid: int) -> bool:
+        return bid == 0 if forward else not cfg.blocks[bid].succs
+
+    pending = deque(order)
+    queued = set(order)
+    while pending:
+        bid = pending.popleft()
+        queued.discard(bid)
+        if is_boundary(bid):
+            incoming = problem.boundary()
+        else:
+            feeds = inputs_of(bid)
+            if feeds:
+                incoming = problem.meet(
+                    [(out_of if forward else in_of)[f] for f in feeds])
+            else:
+                # Unreachable non-entry block: keep the optimistic value
+                # (nothing is asserted about paths that cannot happen).
+                incoming = (in_of if forward else out_of)[bid]
+        outgoing = problem.transfer(bid, incoming)
+        if forward:
+            in_of[bid], previous = incoming, out_of[bid]
+            out_of[bid] = outgoing
+        else:
+            out_of[bid], previous = incoming, in_of[bid]
+            in_of[bid] = outgoing
+        if outgoing != previous:
+            for succ in outputs_of(bid):
+                if succ not in queued:
+                    queued.add(succ)
+                    pending.append(succ)
+    return DataflowSolution(cfg, in_of, out_of)
+
+
+# ---------------------------------------------------------------------------
+# reaching definitions and def-use chains
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DefUseChains:
+    """The def-use graph over static instructions.
+
+    ``uses_of[i]`` holds the instruction indices that may consume a
+    value produced by instruction ``i`` along some CFG path (including
+    loop-carried paths); ``defs_of[i]`` is the reverse relation.
+    """
+
+    program: Program
+    uses_of: Dict[int, Set[int]]
+    defs_of: Dict[int, Set[int]]
+
+
+class ReachingDefinitions(DataflowProblem):
+    """Forward may-analysis over definition sites ``(index, register)``."""
+
+    direction = "forward"
+
+    def __init__(self, program: Program, cfg: Optional[CFG] = None):
+        self.program = program
+        self.cfg = cfg or build_cfg(program)
+        self.defs, self.uses = defs_and_uses(program)
+
+        all_defs_of_reg: Dict[int, Set[Definition]] = {}
+        for idx, dest_regs in enumerate(self.defs):
+            for reg in dest_regs:
+                all_defs_of_reg.setdefault(reg, set()).add((idx, reg))
+
+        self._gen: List[FrozenSet[Definition]] = []
+        self._kill: List[FrozenSet[Definition]] = []
+        for block in self.cfg:
+            last_def: Dict[int, Definition] = {}
+            killed: Set[Definition] = set()
+            for idx in block.indices():
+                for reg in self.defs[idx]:
+                    killed |= all_defs_of_reg[reg]
+                    last_def[reg] = (idx, reg)
+            gen = frozenset(last_def.values())
+            self._gen.append(gen)
+            self._kill.append(frozenset(killed - gen))
+
+    def transfer(self, bid: int, value: FrozenSet) -> FrozenSet:
+        return (value - self._kill[bid]) | self._gen[bid]
+
+    def solve(self) -> DataflowSolution:
+        return solve(self.cfg, self)
+
+    def def_use_chains(self, solution: Optional[DataflowSolution] = None
+                       ) -> DefUseChains:
+        """Connect reaching definitions to the uses they may feed."""
+        solution = solution or self.solve()
+        n = len(self.program)
+        uses_of: Dict[int, Set[int]] = {i: set() for i in range(n)}
+        defs_of: Dict[int, Set[int]] = {i: set() for i in range(n)}
+        for block in self.cfg:
+            live: Dict[int, Set[int]] = {}
+            for def_idx, reg in solution.in_of[block.bid]:
+                live.setdefault(reg, set()).add(def_idx)
+            for idx in block.indices():
+                for reg in self.uses[idx]:
+                    for def_idx in live.get(reg, ()):
+                        uses_of[def_idx].add(idx)
+                        defs_of[idx].add(def_idx)
+                for reg in self.defs[idx]:
+                    live[reg] = {idx}
+        return DefUseChains(self.program, uses_of, defs_of)
+
+
+# ---------------------------------------------------------------------------
+# live variables
+# ---------------------------------------------------------------------------
+
+class LiveVariables(DataflowProblem):
+    """Backward may-analysis over register liveness.
+
+    Every register is observable in the final architectural state, so
+    exit blocks treat all registers as live-out (the ``exit_live``
+    boundary).  Predicated writes never kill liveness — they may not
+    execute — which matches the verifier's dead-write rule.
+    """
+
+    direction = "backward"
+
+    def __init__(self, program: Program, cfg: Optional[CFG] = None,
+                 exit_live: FrozenSet[int] = ALL_REGS):
+        self.program = program
+        self.cfg = cfg or build_cfg(program)
+        self._exit_live = frozenset(exit_live)
+        self._use: List[FrozenSet[int]] = []
+        self._kill: List[FrozenSet[int]] = []
+        for block in self.cfg:
+            used: Set[int] = set()
+            killed: Set[int] = set()
+            for idx in block.indices():
+                inst = program[idx]
+                for reg in inst.read_regs():
+                    if reg not in HARDWIRED and reg not in killed:
+                        used.add(reg)
+                if not inst.is_predicated:
+                    killed.update(d for d in inst.dests
+                                  if d not in HARDWIRED)
+            self._use.append(frozenset(used))
+            self._kill.append(frozenset(killed))
+
+    def boundary(self) -> FrozenSet:
+        return self._exit_live
+
+    def transfer(self, bid: int, value: FrozenSet) -> FrozenSet:
+        return self._use[bid] | (value - self._kill[bid])
+
+    def solve(self) -> DataflowSolution:
+        return solve(self.cfg, self)
+
+
+# ---------------------------------------------------------------------------
+# must-defined registers
+# ---------------------------------------------------------------------------
+
+class MustDefined(DataflowProblem):
+    """Forward must-analysis: registers written on *every* path.
+
+    A predicated definition counts as a definition (the compiler
+    guarantees a same-guard producer on the nullified path or the value
+    is dead there).  The meet is intersection; the optimistic initial
+    value is the full register set, so unreachable blocks assert
+    everything and emit nothing.
+    """
+
+    direction = "forward"
+
+    def __init__(self, program: Program, cfg: Optional[CFG] = None):
+        self.program = program
+        self.cfg = cfg or build_cfg(program)
+        self._defs: List[FrozenSet[int]] = []
+        for block in self.cfg:
+            defined: Set[int] = set()
+            for idx in block.indices():
+                defined.update(d for d in program[idx].dests
+                               if d not in HARDWIRED)
+            self._defs.append(frozenset(defined))
+
+    def initial(self) -> FrozenSet:
+        return ALL_REGS
+
+    def meet(self, values: List[FrozenSet]) -> FrozenSet:
+        out: FrozenSet = values[0]
+        for value in values[1:]:
+            out &= value
+        return out
+
+    def transfer(self, bid: int, value: FrozenSet) -> FrozenSet:
+        return value | self._defs[bid]
+
+    def solve(self) -> DataflowSolution:
+        return solve(self.cfg, self)

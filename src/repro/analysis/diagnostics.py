@@ -1,16 +1,24 @@
 """Diagnostic records emitted by the static-analysis layer.
 
-Every lint rule owns a stable *diagnostic code* (e.g. ``UBD001``) so tests
-and tooling can assert on the specific rule that fired rather than on
-message text.  The full catalogue is documented in
-``docs/architecture.md`` ("Analysis & verification").
+Every lint/audit rule owns a stable *diagnostic code* (e.g. ``UBD001``)
+so tests and tooling can assert on the specific rule that fired rather
+than on message text.  Codes live in a registry that pins, per code, the
+default severity and a one-line description; once published a code is
+never renumbered, and codes for retired rules move to
+:data:`RETIRED_CODES` rather than being reused.
+
+The catalogue in ``docs/diagnostics.md`` is generated from the registry
+(``python -m repro.analysis.diagnostics``); the registry test suite
+(``tests/analysis/test_diagnostics_registry.py``) keeps the two in sync
+and enforces the stability rules.
 """
 
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from ..isa.program import ProgramError
 
@@ -26,55 +34,123 @@ class Severity(enum.Enum):
     WARNING = "warning"
 
 
-# -- diagnostic codes -------------------------------------------------------
-#: Use of a register that no definition reaches on some path.
-UBD001 = "UBD001"
-#: Register written and then overwritten before any use on every path.
-DWR001 = "DWR001"
-#: Instruction unreachable from the program entry.
-UNR001 = "UNR001"
-#: Branch targets a label that is not defined.
-LBL001 = "LBL001"
-#: Branch targets a label that points past the end of the program.
-LBL002 = "LBL002"
-#: Label index outside ``[0, len(program)]``.
-LBL003 = "LBL003"
-#: Memory-image address not word aligned.
-MEM001 = "MEM001"
-#: Orphan RESTART: a reaching definition of its operand is not a load.
-RST001 = "RST001"
-#: RESTART with the wrong operand shape (needs 1 source, 0 destinations).
-RST002 = "RST002"
-#: RESTART whose producing load is not in a critical SCC.
-RST003 = "RST003"
-#: Issue group exceeds the port model's per-cycle capacity.
-GRP001 = "GRP001"
-#: Intra-group dependence violation (RAW/WAW or load-after-store).
-GRP002 = "GRP002"
-#: Stop-bit / group-ordinal / branch-boundary inconsistency.
-GRP003 = "GRP003"
-#: Compiler stage changed the def-use edge multiset beyond its contract.
-PCH001 = "PCH001"
-#: Compiler stage changed observable final architectural state.
-PCH002 = "PCH002"
+@dataclass(frozen=True)
+class DiagnosticSpec:
+    """Registry entry for one diagnostic code."""
 
-#: code -> default severity.
-SEVERITY_OF = {
-    UBD001: Severity.ERROR,
-    DWR001: Severity.WARNING,
-    UNR001: Severity.WARNING,
-    LBL001: Severity.ERROR,
-    LBL002: Severity.ERROR,
-    LBL003: Severity.ERROR,
-    MEM001: Severity.ERROR,
-    RST001: Severity.ERROR,
-    RST002: Severity.ERROR,
-    RST003: Severity.ERROR,
-    GRP001: Severity.ERROR,
-    GRP002: Severity.ERROR,
-    GRP003: Severity.ERROR,
-    PCH001: Severity.ERROR,
-    PCH002: Severity.ERROR,
+    code: str
+    severity: Severity
+    summary: str
+
+
+#: Shape every code must have: a three-letter rule family + 3 digits.
+CODE_PATTERN = re.compile(r"^[A-Z]{3}\d{3}$")
+
+#: Codes of retired rules.  A retired code is never reused for a new
+#: rule — tooling that keyed on it must keep getting "retired", not a
+#: different finding.  (Empty so far; append, never remove.)
+RETIRED_CODES: frozenset = frozenset()
+
+_REGISTRY: Dict[str, DiagnosticSpec] = {}
+
+
+def _register(code: str, severity: Severity, summary: str) -> str:
+    """Add one code to the registry, enforcing the stability rules."""
+    if not CODE_PATTERN.match(code):
+        raise ValueError(f"malformed diagnostic code {code!r}")
+    if code in _REGISTRY:
+        raise ValueError(f"duplicate diagnostic code {code!r}")
+    if code in RETIRED_CODES:
+        raise ValueError(f"diagnostic code {code!r} is retired and must "
+                         f"not be reused")
+    if not summary or not summary.strip():
+        raise ValueError(f"diagnostic code {code!r} needs a description")
+    _REGISTRY[code] = DiagnosticSpec(code, severity, summary.strip())
+    return code
+
+
+def registry() -> Dict[str, DiagnosticSpec]:
+    """A copy of the full code registry."""
+    return dict(_REGISTRY)
+
+
+def describe(code: str) -> str:
+    """The registered one-line description of ``code``."""
+    return _REGISTRY[code].summary
+
+
+# -- diagnostic codes -------------------------------------------------------
+# Dataflow lints (verifier).
+UBD001 = _register(
+    "UBD001", Severity.ERROR,
+    "Use of a register that no definition reaches on some path.")
+DWR001 = _register(
+    "DWR001", Severity.WARNING,
+    "Register written and then overwritten before any use on every "
+    "path.")
+UNR001 = _register(
+    "UNR001", Severity.WARNING,
+    "Instruction unreachable from the program entry.")
+CFG001 = _register(
+    "CFG001", Severity.WARNING,
+    "Loop with no exit path: once entered, no CFG path reaches HALT or "
+    "leaves the cycle.")
+# Structural lints.
+LBL001 = _register(
+    "LBL001", Severity.ERROR,
+    "Branch targets a label that is not defined.")
+LBL002 = _register(
+    "LBL002", Severity.ERROR,
+    "Branch targets a label that points past the end of the program.")
+LBL003 = _register(
+    "LBL003", Severity.ERROR,
+    "Label index outside [0, len(program)].")
+MEM001 = _register(
+    "MEM001", Severity.ERROR,
+    "Memory-image address not word aligned.")
+# RESTART legality (paper Section 3.3).
+RST001 = _register(
+    "RST001", Severity.ERROR,
+    "Orphan RESTART: a reaching definition of its operand is not a "
+    "load.")
+RST002 = _register(
+    "RST002", Severity.ERROR,
+    "RESTART with the wrong operand shape (needs 1 source, 0 "
+    "destinations).")
+RST003 = _register(
+    "RST003", Severity.ERROR,
+    "RESTART whose producing load is not in a critical SCC.")
+RST004 = _register(
+    "RST004", Severity.WARNING,
+    "Redundant RESTART: the consumed load's destination already feeds "
+    "an earlier RESTART slot.")
+# Issue-group legality.
+GRP001 = _register(
+    "GRP001", Severity.ERROR,
+    "Issue group exceeds the port model's per-cycle capacity.")
+GRP002 = _register(
+    "GRP002", Severity.ERROR,
+    "Intra-group dependence violation (RAW/WAW or load-after-store).")
+GRP003 = _register(
+    "GRP003", Severity.ERROR,
+    "Stop-bit / group-ordinal / branch-boundary inconsistency.")
+# Compiler pass contracts.
+PCH001 = _register(
+    "PCH001", Severity.ERROR,
+    "Compiler stage changed the def-use edge multiset beyond its "
+    "contract.")
+PCH002 = _register(
+    "PCH002", Severity.ERROR,
+    "Compiler stage changed observable final architectural state.")
+# Cycle-bound audit (static oracle).
+AUD001 = _register(
+    "AUD001", Severity.ERROR,
+    "Timing model simulated fewer cycles than the static "
+    "dependence-height lower bound (sub-physical result).")
+
+#: code -> default severity (derived view of the registry).
+SEVERITY_OF: Dict[str, Severity] = {
+    code: spec.severity for code, spec in _REGISTRY.items()
 }
 
 
@@ -101,6 +177,15 @@ class Diagnostic:
         return (f"{program_name}{where}: {self.severity.value}"
                 f"[{self.code}] {self.message}")
 
+    def to_dict(self) -> dict:
+        """JSON-safe view (``repro lint --json``)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "index": self.index,
+            "message": self.message,
+        }
+
 
 class VerifierError(ProgramError):
     """Raised when a program fails verification with ERROR diagnostics."""
@@ -125,7 +210,43 @@ def errors(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
     return [d for d in diagnostics if d.is_error]
 
 
+def warnings(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Only the WARNING-severity diagnostics."""
+    return [d for d in diagnostics if not d.is_error]
+
+
 def render_all(diagnostics: Iterable[Diagnostic],
                program_name: str = "<program>") -> str:
     """Render a diagnostic list one finding per line."""
     return "\n".join(d.render(program_name) for d in diagnostics)
+
+
+def render_catalogue() -> str:
+    """The ``docs/diagnostics.md`` markdown table, from the registry."""
+    lines = [
+        "# Diagnostic codes",
+        "",
+        "<!-- Generated by `python -m repro.analysis.diagnostics`; do "
+        "not edit by hand. -->",
+        "",
+        "Stable codes emitted by the static-analysis layer (`repro "
+        "lint`, `repro audit`, seal-time workload verification and the "
+        "compiler pass checker).  A code is never renumbered or "
+        "reused; retired codes are listed at the bottom.",
+        "",
+        "| Code | Severity | Description |",
+        "| --- | --- | --- |",
+    ]
+    for code in sorted(_REGISTRY):
+        spec = _REGISTRY[code]
+        lines.append(f"| `{code}` | {spec.severity.value} | "
+                     f"{spec.summary} |")
+    lines.append("")
+    lines.append(f"Retired codes (never to be reused): "
+                 f"{', '.join(sorted(RETIRED_CODES)) or 'none'}.")
+    lines.append("")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - doc generator
+    print(render_catalogue(), end="")

@@ -63,15 +63,21 @@ class EquivalenceReport:
     snapshots: List[StateSnapshot] = field(default_factory=list)
     divergences: List[Divergence] = field(default_factory=list)
     invariant_failures: List[str] = field(default_factory=list)
+    #: Static cycle lower bound of the compiled trace, and the models
+    #: that simulated fewer cycles than it (always a bug when nonempty).
+    cycle_bound: int = 0
+    bound_violations: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.divergences and not self.invariant_failures
+        return (not self.divergences and not self.invariant_failures
+                and not self.bound_violations)
 
     def render(self) -> str:
         lines = [f"{self.workload} (scale={self.scale}): "
                  f"{'EQUIVALENT' if self.ok else 'DIVERGED'} across "
-                 f"{len(self.snapshots)} executions"]
+                 f"{len(self.snapshots)} executions "
+                 f"(cycle bound {self.cycle_bound})"]
         for snap in self.snapshots:
             lines.append(f"  {snap.source}: retired={snap.retired}, "
                          f"{len(snap.registers)} regs, "
@@ -80,6 +86,8 @@ class EquivalenceReport:
             lines.append("  DIVERGENCE " + div.render())
         for failure in self.invariant_failures:
             lines.append("  INVARIANT " + failure)
+        for violation in self.bound_violations:
+            lines.append("  AUDIT " + violation)
         return "\n".join(lines)
 
 
@@ -122,6 +130,8 @@ def check_workload(workload: str,
     from ..isa.functional import FunctionalSimulator
     from ..machine import MachineConfig
     from ..workloads import build_workload
+    from .audit import AuditViolation, check_bound
+    from .bounds import cycle_lower_bound
     from .diagnostics import InvariantError
     from .verifier import assert_valid
 
@@ -147,14 +157,20 @@ def check_workload(workload: str,
     report.snapshots.append(comp)
     _compare(report, ref, comp)
 
+    report.cycle_bound = cycle_lower_bound(comp_trace).bound
+
     config = config or MachineConfig()
     for model in models:
         core = make_model(model, comp_trace, config, check=True)
         try:
-            core.run()
+            stats = core.run()
         except InvariantError as exc:
             report.invariant_failures.append(f"{model}: {exc}")
             continue
+        try:
+            check_bound(stats, comp_trace, model, workload)
+        except AuditViolation as exc:
+            report.bound_violations.append(str(exc))
         replay = core.replay
         snap = StateSnapshot(model, dict(replay.sim.registers),
                              dict(replay.sim.memory),

@@ -21,14 +21,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from ..compiler.cfg import CFG, build_cfg
 from ..compiler.criticality import find_critical_sccs
 from ..compiler.dataflow import build_dataflow_graph
 from ..isa.opcodes import Opcode
 from ..isa.program import WORD_SIZE, Program
-from ..isa.registers import HARDWIRED, NUM_REGS
+from ..isa.registers import HARDWIRED
 from ..resources import PortModel
 from . import diagnostics as dc
+from .cfg import CFG, build_cfg, no_exit_loops
+from .dataflow import LiveVariables, MustDefined
 from .diagnostics import Diagnostic, VerifierError
 
 
@@ -68,6 +69,7 @@ def verify_program(program: Program,
 
     cfg = build_cfg(program)
     reachable = _reachable_indices(program, cfg, out)
+    _check_loops(cfg, out)
     if options.check_liveness:
         _check_use_before_def(program, cfg, reachable, out)
         _check_dead_writes(program, cfg, out)
@@ -135,16 +137,8 @@ def _reachable_indices(program: Program, cfg: CFG,
     """CFG reachability from the entry; unreachable code is linted."""
     if not len(cfg):
         return set()
-    seen: Set[int] = set()
-    stack = [0]
-    while stack:
-        bid = stack.pop()
-        if bid in seen:
-            continue
-        seen.add(bid)
-        stack.extend(cfg.blocks[bid].succs)
     reachable: Set[int] = set()
-    for bid in seen:
+    for bid in cfg.reachable_blocks():
         reachable.update(cfg.blocks[bid].indices())
     for inst in program:
         if inst.index not in reachable:
@@ -152,6 +146,17 @@ def _reachable_indices(program: Program, cfg: CFG,
                 dc.UNR001, "instruction is unreachable from the entry",
                 inst.index))
     return reachable
+
+
+def _check_loops(cfg: CFG, out: List[Diagnostic]) -> None:
+    """Flag reachable loops with no exit path (``CFG001``)."""
+    for loop in no_exit_loops(cfg):
+        anchor = cfg.blocks[min(loop.headers or loop.blocks)].start
+        members = ", ".join(str(b) for b in loop.blocks)
+        out.append(Diagnostic(
+            dc.CFG001,
+            f"loop over block(s) {{{members}}} has no exit path: once "
+            f"entered the program can never halt", anchor))
 
 
 # ---------------------------------------------------------------------------
@@ -164,41 +169,15 @@ def _check_use_before_def(program: Program, cfg: CFG, reachable: Set[int],
 
     A predicated definition counts as a definition (the compiler
     guarantees a same-guard producer on the nullified path or the value
-    is dead there); hardwired registers are always defined.
+    is dead there); hardwired registers are always defined.  Unreachable
+    blocks keep the optimistic "everything defined" value and emit
+    nothing (``UNR001`` already covers them).
     """
-    n_blocks = len(cfg)
-    if not n_blocks:
+    if not len(cfg):
         return
-    block_defs: List[Set[int]] = []
+    solution = MustDefined(program, cfg).solve()
     for block in cfg:
-        defined: Set[int] = set()
-        for idx in block.indices():
-            defined.update(d for d in program[idx].dests
-                           if d not in HARDWIRED)
-        block_defs.append(defined)
-
-    all_regs = frozenset(range(NUM_REGS))
-    defined_in: List[Set[int]] = [set(all_regs) for _ in range(n_blocks)]
-    defined_in[0] = set()
-    changed = True
-    while changed:
-        changed = False
-        for block in cfg:
-            bid = block.bid
-            if bid == 0:
-                new_in: Set[int] = set()
-            elif block.preds:
-                new_in = set(all_regs)
-                for pred in block.preds:
-                    new_in &= defined_in[pred] | block_defs[pred]
-            else:
-                continue  # unreachable: keep top, emit nothing later
-            if new_in != defined_in[bid]:
-                defined_in[bid] = new_in
-                changed = True
-
-    for block in cfg:
-        defined = set(defined_in[block.bid])
+        defined = set(solution.in_of[block.bid])
         for idx in block.indices():
             if idx not in reachable:
                 continue
@@ -222,43 +201,11 @@ def _check_dead_writes(program: Program, cfg: CFG,
     write that is *redefined* before any use on every path is dead.
     Predicated writes never kill liveness (they may not execute).
     """
-    n_blocks = len(cfg)
-    if not n_blocks:
+    if not len(cfg):
         return
-    all_regs = frozenset(range(NUM_REGS))
-    use: List[Set[int]] = []
-    kill: List[Set[int]] = []
+    solution = LiveVariables(program, cfg).solve()
     for block in cfg:
-        b_use: Set[int] = set()
-        b_kill: Set[int] = set()
-        for idx in block.indices():
-            inst = program[idx]
-            for reg in inst.read_regs():
-                if reg not in HARDWIRED and reg not in b_kill:
-                    b_use.add(reg)
-            if not inst.is_predicated:
-                b_kill.update(d for d in inst.dests if d not in HARDWIRED)
-        use.append(b_use)
-        kill.append(b_kill)
-
-    live_out: List[Set[int]] = [
-        set(all_regs) if not block.succs else set() for block in cfg
-    ]
-    changed = True
-    while changed:
-        changed = False
-        for block in reversed(cfg.blocks):
-            bid = block.bid
-            new_out: Set[int] = set(live_out[bid]) if not block.succs \
-                else set()
-            for succ in block.succs:
-                new_out |= use[succ] | (live_out[succ] - kill[succ])
-            if new_out != live_out[bid]:
-                live_out[bid] = new_out
-                changed = True
-
-    for block in cfg:
-        live = set(live_out[block.bid])
+        live = set(solution.out_of[block.bid])
         for idx in reversed(block.indices()):
             inst = program[idx]
             for dest in inst.dests:
@@ -322,6 +269,30 @@ def _check_restarts(program: Program, options: VerifyOptions,
                 f"RESTART consumes load(s) at {uncritical} outside any "
                 f"critical SCC (dominance ratio "
                 f"{options.dominance_ratio})", inst.index))
+
+    # Redundant slots: insert_restarts() promises at most one RESTART
+    # per covered load, so a load destination feeding a second RESTART
+    # wastes an issue slot without adding coverage.
+    consumers_of_load: Dict[int, List[int]] = {}
+    for inst in restarts:
+        for producer in sorted(graph.preds.get(inst.index, set())):
+            if program[producer].is_load:
+                consumers_of_load.setdefault(producer, []).append(
+                    inst.index)
+    redundant_for: Dict[int, Set[int]] = {}
+    for load_idx, consumer_list in consumers_of_load.items():
+        for extra in sorted(consumer_list)[1:]:
+            redundant_for.setdefault(extra, set()).add(load_idx)
+    for inst in restarts:
+        producers = {p for p in graph.preds.get(inst.index, set())
+                     if program[p].is_load}
+        if producers and producers <= redundant_for.get(inst.index,
+                                                        set()):
+            covered = sorted(producers)
+            out.append(Diagnostic(
+                dc.RST004,
+                f"redundant RESTART: load(s) at {covered} already feed "
+                f"an earlier RESTART slot", inst.index))
 
 
 # ---------------------------------------------------------------------------

@@ -51,6 +51,46 @@ class CFG:
     def __len__(self) -> int:
         return len(self.blocks)
 
+    def reachable_blocks(self) -> List[int]:
+        """Block ids reachable from the entry, in discovery order."""
+        if not self.blocks:
+            return []
+        seen = {0}
+        order = [0]
+        stack = [0]
+        while stack:
+            for succ in self.blocks[stack.pop()].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    order.append(succ)
+                    stack.append(succ)
+        return order
+
+    def reverse_postorder(self) -> List[int]:
+        """Reachable block ids in reverse postorder of a DFS from entry.
+
+        The canonical iteration order for forward dataflow problems:
+        every block appears before its successors except along back
+        edges.  Unreachable blocks are omitted.
+        """
+        if not self.blocks:
+            return []
+        postorder: List[int] = []
+        seen = {0}
+        # Iterative DFS; each frame is (block id, successor iterator).
+        stack = [(0, iter(self.blocks[0].succs))]
+        while stack:
+            bid, succs = stack[-1]
+            for succ in succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(self.blocks[succ].succs)))
+                    break
+            else:
+                postorder.append(bid)
+                stack.pop()
+        return postorder[::-1]
+
 
 def build_cfg(program: Program) -> CFG:
     """Partition ``program`` into basic blocks and connect the edges.

@@ -3,17 +3,17 @@
 The paper's advance-restart heuristic (Section 3.3) operates on the
 *data-flow graph* of the program, whose strongly connected components
 capture loop-carried dependences (e.g. the ``p = p->next`` recurrence of a
-pointer-chasing loop).  We build that graph with a classic iterative
-reaching-definitions analysis over the CFG, so that flow edges follow
-actual definition-use chains rather than mere register-name coincidence.
+pointer-chasing loop).  The graph is materialized from the reaching
+definitions of :class:`repro.analysis.dataflow.ReachingDefinitions`
+(the generic worklist solver), so that flow edges follow actual
+definition-use chains rather than mere register-name coincidence.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from ..isa.program import Program
-from ..isa.registers import HARDWIRED
 from .cfg import CFG, build_cfg
 
 #: A definition site: (instruction index, register id).
@@ -61,74 +61,13 @@ class DataflowGraph:
         return seen
 
 
-def _defs_and_uses(program: Program):
-    """Per-instruction written and read register sets (hardwired excluded)."""
-    defs: List[Tuple[int, ...]] = []
-    uses: List[Tuple[int, ...]] = []
-    for inst in program:
-        defs.append(tuple(d for d in inst.dests if d not in HARDWIRED))
-        uses.append(tuple(s for s in inst.read_regs() if s not in HARDWIRED))
-    return defs, uses
+def build_dataflow_graph(program: Program,
+                         cfg: Optional[CFG] = None) -> DataflowGraph:
+    """Compute the def-use graph via reaching definitions."""
+    # Imported lazily: repro.analysis pulls in the verifier, which needs
+    # this module — a module-level import would be circular.
+    from ..analysis.dataflow import ReachingDefinitions
 
-
-def build_dataflow_graph(program: Program, cfg: CFG = None) -> DataflowGraph:
-    """Compute the def-use graph via iterative reaching definitions."""
-    cfg = cfg or build_cfg(program)
-    defs, uses = _defs_and_uses(program)
-
-    # GEN/KILL per block, operating on definition sites.
-    all_defs_of_reg: Dict[int, Set[Definition]] = {}
-    for idx, dest_regs in enumerate(defs):
-        for reg in dest_regs:
-            all_defs_of_reg.setdefault(reg, set()).add((idx, reg))
-
-    gen: List[Set[Definition]] = []
-    kill: List[Set[Definition]] = []
-    for block in cfg:
-        g: Dict[int, Definition] = {}
-        k: Set[Definition] = set()
-        for idx in block.indices():
-            for reg in defs[idx]:
-                k |= all_defs_of_reg[reg]
-                g[reg] = (idx, reg)
-        gen.append(set(g.values()))
-        kill.append(k - set(g.values()))
-
-    # Iterate IN/OUT to fixpoint.
-    n_blocks = len(cfg)
-    block_in: List[FrozenSet[Definition]] = [frozenset()] * n_blocks
-    block_out: List[FrozenSet[Definition]] = [
-        frozenset(gen[b]) for b in range(n_blocks)
-    ]
-    changed = True
-    while changed:
-        changed = False
-        for block in cfg:
-            bid = block.bid
-            new_in: Set[Definition] = set()
-            for pred in block.preds:
-                new_in |= block_out[pred]
-            frozen_in = frozenset(new_in)
-            if frozen_in != block_in[bid]:
-                block_in[bid] = frozen_in
-            new_out = (new_in - kill[bid]) | gen[bid]
-            frozen_out = frozenset(new_out)
-            if frozen_out != block_out[bid]:
-                block_out[bid] = frozen_out
-                changed = True
-
-    # Walk each block once more to connect definitions to uses.
-    succs: Dict[int, Set[int]] = {i: set() for i in range(len(program))}
-    preds: Dict[int, Set[int]] = {i: set() for i in range(len(program))}
-    for block in cfg:
-        live: Dict[int, Set[int]] = {}
-        for def_idx, reg in block_in[block.bid]:
-            live.setdefault(reg, set()).add(def_idx)
-        for idx in block.indices():
-            for reg in uses[idx]:
-                for def_idx in live.get(reg, ()):
-                    succs[def_idx].add(idx)
-                    preds[idx].add(def_idx)
-            for reg in defs[idx]:
-                live[reg] = {idx}
-    return DataflowGraph(program, succs, preds)
+    chains = ReachingDefinitions(
+        program, cfg or build_cfg(program)).def_use_chains()
+    return DataflowGraph(program, chains.uses_of, chains.defs_of)

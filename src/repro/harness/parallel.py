@@ -83,6 +83,11 @@ class CellSpec:
     #: Never part of the result-cache key: tracing does not change
     #: stats, so cached entries stay valid either way.
     telemetry: bool = False
+    #: Post-check the simulated cycles against the static cycle lower
+    #: bound (:func:`repro.analysis.audit.check_bound`); a violation
+    #: surfaces as an ``AuditViolation: ...`` failure row.  Like
+    #: ``telemetry``, never part of the result-cache key.
+    audit: bool = False
 
 
 @dataclass
@@ -139,12 +144,19 @@ def simulate_cell(spec: CellSpec) -> SimStats:
     """
     trace = _worker_trace(spec)
     if not spec.telemetry:
-        return run_model(spec.model, trace, spec.config)
-    from ..telemetry import MetricsSink, Tracer
+        stats, telemetry = run_model(spec.model, trace, spec.config), None
+    else:
+        from ..telemetry import MetricsSink, Tracer
 
-    sink = MetricsSink()
-    stats = run_model(spec.model, trace, spec.config, tracer=Tracer(sink))
-    return stats, sink.summary()
+        sink = MetricsSink()
+        stats = run_model(spec.model, trace, spec.config,
+                          tracer=Tracer(sink))
+        telemetry = sink.summary()
+    if spec.audit:
+        from ..analysis.audit import check_bound
+
+        check_bound(stats, trace, spec.model, spec.workload)
+    return stats if telemetry is None else (stats, telemetry)
 
 
 def _raise_timeout(signum, frame):
@@ -274,7 +286,8 @@ def sweep(models: Sequence[str],
           timeout: Optional[float] = None,
           retries: int = 1,
           runner: Optional[Callable[[CellSpec], SimStats]] = None,
-          telemetry: bool = False
+          telemetry: bool = False,
+          audit: bool = False
           ) -> SweepReport:
     """Run the full cell grid; always returns a report, never hangs.
 
@@ -286,6 +299,11 @@ def sweep(models: Sequence[str],
     ``report.telemetry``.  Summaries require a live simulation, so
     telemetry sweeps skip result-cache *reads* (fresh results are still
     stored); stats remain bit-identical, keeping the cache safe.
+
+    ``audit=True`` post-checks every simulated cell against the static
+    cycle lower bound; a sub-physical result becomes an
+    ``AuditViolation`` failure row.  The check needs the worker's trace,
+    so audit sweeps also skip result-cache reads.
     """
     start = time.perf_counter()
     # Resolved at call time so tests can swap the module-level default.
@@ -296,7 +314,7 @@ def sweep(models: Sequence[str],
     compile_options = compile_options or CompileOptions()
 
     specs = [CellSpec(workload, model, scale, compile_options, config,
-                      max_instructions, telemetry=telemetry)
+                      max_instructions, telemetry=telemetry, audit=audit)
              for workload in workloads for model in models]
     matrix = Matrix(scale=scale)
     report = SweepReport(matrix=matrix, cells=len(specs), jobs=jobs)
@@ -309,7 +327,7 @@ def sweep(models: Sequence[str],
             keys[cell] = store.key_for(spec.workload, spec.model,
                                        spec.scale, spec.compile_options,
                                        spec.config, spec.max_instructions)
-            if not telemetry:
+            if not telemetry and not audit:
                 stats = store.get(keys[cell])
                 if stats is not None:
                     matrix.results[cell] = stats

@@ -1,0 +1,104 @@
+"""CFG orders and loop structure (`repro.analysis.cfg`)."""
+
+from repro.analysis.cfg import build_cfg, loops, no_exit_loops
+from repro.isa import P, ProgramBuilder, R
+
+
+def diamond():
+    #   b0: entry -> b1 (fallthrough) or b2 (branch)
+    #   b1 -> b3, b2 -> b3, b3: halt
+    b = ProgramBuilder("diamond")
+    b.movi(R(1), 1)
+    b.cmplti(P(1), R(1), 5)
+    b.br("right", pred=P(1))
+    b.movi(R(2), 2)
+    b.jmp("join")
+    b.label("right")
+    b.movi(R(2), 3)
+    b.label("join")
+    b.halt()
+    return b.build()
+
+
+def looping(with_exit=True):
+    b = ProgramBuilder("loop")
+    b.movi(R(1), 4)
+    b.label("loop")
+    b.subi(R(1), R(1), 1)
+    if with_exit:
+        b.cmpnei(P(1), R(1), 0)
+        b.br("loop", pred=P(1))
+    else:
+        b.jmp("loop")
+    b.halt()
+    return b.build()
+
+
+def test_reachable_blocks_covers_connected_graph():
+    cfg = build_cfg(diamond())
+    assert sorted(cfg.reachable_blocks()) == [b.bid for b in cfg]
+
+
+def test_reachable_blocks_excludes_dead_code():
+    b = ProgramBuilder("dead")
+    b.jmp("end")
+    b.movi(R(1), 1)                 # unreachable block
+    b.label("end")
+    b.halt()
+    cfg = build_cfg(b.build())
+    reachable = set(cfg.reachable_blocks())
+    dead = [blk.bid for blk in cfg if blk.bid not in reachable]
+    assert len(dead) == 1
+    assert cfg.blocks[dead[0]].start == 1
+
+
+def test_reverse_postorder_puts_blocks_before_successors():
+    cfg = build_cfg(diamond())
+    order = cfg.reverse_postorder()
+    position = {bid: i for i, bid in enumerate(order)}
+    for block in cfg:
+        for succ in block.succs:
+            # Only back edges may violate the ordering; the diamond is
+            # acyclic so every edge must be forward in RPO.
+            assert position[block.bid] < position[succ]
+
+
+def test_reverse_postorder_omits_unreachable_blocks():
+    b = ProgramBuilder("dead")
+    b.jmp("end")
+    b.movi(R(1), 1)
+    b.label("end")
+    b.halt()
+    cfg = build_cfg(b.build())
+    assert set(cfg.reverse_postorder()) == set(cfg.reachable_blocks())
+
+
+def test_loop_with_exit_detected_with_header_and_exit():
+    cfg = build_cfg(looping(with_exit=True))
+    (loop,) = loops(cfg)
+    assert loop.has_exit
+    assert loop.headers
+    assert no_exit_loops(cfg) == []
+
+
+def test_no_exit_loop_detected():
+    cfg = build_cfg(looping(with_exit=False))
+    (loop,) = no_exit_loops(cfg)
+    assert not loop.has_exit
+
+
+def test_unreachable_no_exit_loop_not_reported():
+    b = ProgramBuilder("deadloop")
+    b.halt()
+    b.label("spin")                 # unreachable infinite loop
+    b.jmp("spin")
+    cfg = build_cfg(b.build())
+    assert loops(cfg)               # the cycle exists...
+    assert no_exit_loops(cfg) == []  # ...but is not entry-reachable
+
+
+def test_straight_line_program_has_no_loops():
+    b = ProgramBuilder("straight")
+    b.movi(R(1), 1)
+    b.halt()
+    assert loops(build_cfg(b.build())) == []

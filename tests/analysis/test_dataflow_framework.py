@@ -1,0 +1,158 @@
+"""The generic worklist solver and its instances
+(`repro.analysis.dataflow`)."""
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import (ALL_REGS, LiveVariables, MustDefined,
+                                     ReachingDefinitions, solve)
+from repro.compiler.dataflow import build_dataflow_graph
+from repro.isa import P, ProgramBuilder, R
+
+
+def loop_program():
+    b = ProgramBuilder("loop")
+    b.movi(R(1), 4)                 # 0
+    b.movi(R(2), 0x100)             # 1
+    b.label("loop")
+    b.ld(R(3), R(2), 0)             # 2
+    b.add(R(4), R(3), R(1))         # 3
+    b.st(R(4), R(2), 0)             # 4
+    b.subi(R(1), R(1), 1)           # 5
+    b.cmpnei(P(1), R(1), 0)         # 6
+    b.br("loop", pred=P(1))         # 7
+    b.halt()                        # 8
+    b.data_word(0x100, 7)
+    return b.build()
+
+
+def diamond_program():
+    b = ProgramBuilder("diamond")
+    b.movi(R(1), 1)                 # 0
+    b.cmplti(P(1), R(1), 5)         # 1
+    b.br("right", pred=P(1))        # 2
+    b.movi(R(2), 2)                 # 3  (left arm only)
+    b.jmp("join")                   # 4
+    b.label("right")
+    b.movi(R(3), 3)                 # 5  (right arm only)
+    b.label("join")
+    b.halt()                        # 6
+    return b.build()
+
+
+# -- reaching definitions / def-use chains ----------------------------------
+
+def test_reaching_definitions_cross_block_and_loop_carried():
+    program = loop_program()
+    chains = ReachingDefinitions(program).def_use_chains()
+    # movi r1 (0) feeds the add (3), the subi (5) and, before the first
+    # redefinition only, the cmpnei is fed by subi — loop-carried.
+    assert 3 in chains.uses_of[0]
+    assert 5 in chains.uses_of[0]
+    # subi r1 (5) loops back into the add and itself.
+    assert 3 in chains.uses_of[5]
+    assert 5 in chains.uses_of[5]
+    # The load (2) feeds only the add.
+    assert chains.uses_of[2] == {3}
+    # defs_of is the exact reverse relation.
+    for def_idx, uses in chains.uses_of.items():
+        for use_idx in uses:
+            assert def_idx in chains.defs_of[use_idx]
+
+
+def test_compiler_dataflow_graph_delegates_to_solver():
+    program = loop_program()
+    graph = build_dataflow_graph(program)
+    chains = ReachingDefinitions(program).def_use_chains()
+    assert graph.succs == chains.uses_of
+    assert graph.preds == chains.defs_of
+
+
+def test_reaching_definitions_merge_at_joins():
+    program = diamond_program()
+    rd = ReachingDefinitions(program)
+    solution = rd.solve()
+    cfg = rd.cfg
+    join_bid = cfg.block_of[6]
+    reaching = {idx for idx, _reg in solution.in_of[join_bid]}
+    # Both arms' movis reach the join block.
+    assert {3, 5} <= reaching
+
+
+# -- live variables ---------------------------------------------------------
+
+def test_liveness_exit_blocks_keep_all_registers_live():
+    program = loop_program()
+    lv = LiveVariables(program)
+    solution = lv.solve()
+    halt_bid = lv.cfg.block_of[8]
+    assert solution.out_of[halt_bid] == ALL_REGS
+
+
+def test_liveness_upward_exposed_uses_only():
+    b = ProgramBuilder("usekill")
+    b.add(R(2), R(1), R(1))         # 0: reads r1 (no prior def)
+    b.addi(R(3), R(2), 1)           # 1: reads r2 AFTER its def at 0
+    b.halt()                        # 2
+    program = b.build()
+    lv = LiveVariables(program)
+    # One block: r1 is upward-exposed (read before any kill); r2 is
+    # defined at 0 before its read at 1, so it is not in the use set.
+    assert R(1) in lv._use[0]
+    assert R(2) not in lv._use[0]
+
+
+def test_predicated_write_does_not_kill_liveness():
+    b = ProgramBuilder("predkill")
+    b.movi(R(1), 1)
+    b.cmplti(P(1), R(1), 5)
+    b.addi(R(2), R(1), 1, pred=P(1))   # predicated def of r2
+    b.halt()
+    program = b.build()
+    lv = LiveVariables(program)
+    assert R(2) not in lv._kill[0]
+
+
+# -- must-defined -----------------------------------------------------------
+
+def test_must_defined_intersects_paths():
+    program = diamond_program()
+    md = MustDefined(program)
+    solution = md.solve()
+    join_bid = md.cfg.block_of[6]
+    # r1 is defined on every path; r2/r3 only on one arm each.
+    assert R(1) in solution.in_of[join_bid]
+    assert R(2) not in solution.in_of[join_bid]
+    assert R(3) not in solution.in_of[join_bid]
+
+
+def test_must_defined_entry_starts_empty():
+    program = diamond_program()
+    solution = MustDefined(program).solve()
+    assert solution.in_of[0] == frozenset()
+
+
+# -- the generic solver -----------------------------------------------------
+
+def test_solver_handles_empty_program():
+    b = ProgramBuilder("empty")
+    b.halt()
+    program = b.build()
+    cfg = build_cfg(program)
+    solution = solve(cfg, MustDefined(program, cfg))
+    assert len(solution.in_of) == len(cfg)
+
+
+def test_forward_and_backward_fixpoints_are_stable():
+    program = loop_program()
+    for problem_cls in (ReachingDefinitions, LiveVariables, MustDefined):
+        problem = problem_cls(program)
+        solution = problem.solve()
+        # Re-applying the transfer to every block's input reproduces its
+        # output: the solution is a genuine fixpoint.
+        for block in problem.cfg:
+            bid = block.bid
+            if problem.direction == "forward":
+                assert problem.transfer(bid, solution.in_of[bid]) \
+                    == solution.out_of[bid]
+            else:
+                assert problem.transfer(bid, solution.out_of[bid]) \
+                    == solution.in_of[bid]

@@ -1,0 +1,113 @@
+"""Stability rules for the diagnostic-code registry
+(`repro.analysis.diagnostics`)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import diagnostics as dc
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "diagnostics.md"
+
+#: Codes that have shipped.  Append when a rule is added; never remove —
+#: a published code disappearing from the registry (without moving to
+#: RETIRED_CODES) breaks every tool that keyed on it.
+PUBLISHED = {
+    "UBD001": dc.Severity.ERROR,
+    "DWR001": dc.Severity.WARNING,
+    "UNR001": dc.Severity.WARNING,
+    "CFG001": dc.Severity.WARNING,
+    "LBL001": dc.Severity.ERROR,
+    "LBL002": dc.Severity.ERROR,
+    "LBL003": dc.Severity.ERROR,
+    "MEM001": dc.Severity.ERROR,
+    "RST001": dc.Severity.ERROR,
+    "RST002": dc.Severity.ERROR,
+    "RST003": dc.Severity.ERROR,
+    "RST004": dc.Severity.WARNING,
+    "GRP001": dc.Severity.ERROR,
+    "GRP002": dc.Severity.ERROR,
+    "GRP003": dc.Severity.ERROR,
+    "PCH001": dc.Severity.ERROR,
+    "PCH002": dc.Severity.ERROR,
+    "AUD001": dc.Severity.ERROR,
+}
+
+
+def test_every_code_is_well_formed_and_described():
+    reg = dc.registry()
+    assert reg, "registry must not be empty"
+    for code, spec in reg.items():
+        assert dc.CODE_PATTERN.match(code), code
+        assert spec.code == code
+        assert spec.summary.strip(), f"{code} has no description"
+        assert spec.severity in (dc.Severity.ERROR, dc.Severity.WARNING)
+
+
+def test_published_codes_are_pinned():
+    reg = dc.registry()
+    for code, severity in PUBLISHED.items():
+        assert code in reg, f"published code {code} vanished"
+        assert reg[code].severity is severity, (
+            f"{code} changed severity — that silently changes lint exit "
+            f"codes; add a new code instead")
+    # The reverse direction: a new code must be added to PUBLISHED above
+    # (that is the act of publishing it).
+    assert set(reg) == set(PUBLISHED)
+
+
+def test_no_code_is_both_live_and_retired():
+    assert not set(dc.registry()) & dc.RETIRED_CODES
+
+
+def test_severity_of_matches_registry():
+    assert dc.SEVERITY_OF == {code: spec.severity
+                              for code, spec in dc.registry().items()}
+
+
+def test_register_rejects_malformed_code():
+    with pytest.raises(ValueError, match="malformed"):
+        dc._register("bad1", dc.Severity.ERROR, "x")
+    with pytest.raises(ValueError, match="malformed"):
+        dc._register("ABCD001", dc.Severity.ERROR, "x")
+
+
+def test_register_rejects_duplicate_code():
+    with pytest.raises(ValueError, match="duplicate"):
+        dc._register("UBD001", dc.Severity.ERROR, "x")
+
+
+def test_register_rejects_retired_code(monkeypatch):
+    monkeypatch.setattr(dc, "RETIRED_CODES", frozenset({"OLD001"}))
+    with pytest.raises(ValueError, match="retired"):
+        dc._register("OLD001", dc.Severity.ERROR, "x")
+
+
+def test_register_rejects_empty_description():
+    with pytest.raises(ValueError, match="description"):
+        dc._register("NEW001", dc.Severity.ERROR, "   ")
+    assert "NEW001" not in dc.registry()
+
+
+def test_describe_returns_the_summary():
+    assert dc.describe("AUD001") == dc.registry()["AUD001"].summary
+
+
+def test_docs_catalogue_is_in_sync():
+    assert DOCS.exists(), (
+        "docs/diagnostics.md missing; regenerate with "
+        "PYTHONPATH=src python -m repro.analysis.diagnostics "
+        "> docs/diagnostics.md")
+    assert DOCS.read_text() == dc.render_catalogue(), (
+        "docs/diagnostics.md is stale; regenerate with "
+        "PYTHONPATH=src python -m repro.analysis.diagnostics "
+        "> docs/diagnostics.md")
+
+
+def test_diagnostic_severity_defaults_from_registry():
+    warn = dc.Diagnostic(dc.DWR001, "w")
+    err = dc.Diagnostic(dc.UBD001, "e")
+    assert not warn.is_error
+    assert err.is_error
+    # Unregistered codes fail safe: treated as errors.
+    assert dc.Diagnostic("ZZZ999", "?").is_error

@@ -77,6 +77,25 @@ def test_dead_write_flags_DWR001_as_warning():
     assert_valid(b.build())
 
 
+def test_no_exit_loop_flags_CFG001_as_warning():
+    b = ProgramBuilder("spin")
+    b.movi(R(1), 4)
+    b.label("spin")
+    b.subi(R(1), R(1), 1)
+    b.jmp("spin")                  # unconditional back edge: no way out
+    b.halt()                       # unreachable
+    diags = verify_program(b.build())
+    (diag,) = [d for d in diags if d.code == dc.CFG001]
+    assert not diag.is_error
+    assert diag.index == 1         # anchored at the loop header
+    assert dc.UNR001 in codes(diags)
+    assert_valid(b.build())        # warnings never fail assert_valid
+
+
+def test_exiting_loop_does_not_flag_CFG001():
+    assert dc.CFG001 not in codes(verify_program(simple_program()))
+
+
 def test_unreachable_code_flags_UNR001():
     b = ProgramBuilder("unr")
     b.jmp("end")
@@ -169,6 +188,46 @@ def test_restart_on_uncritical_load_flags_RST003():
     diags = verify_program(program)
     (diag,) = [d for d in diags if d.code == dc.RST003]
     assert diag.index == 2
+
+
+def _chase_program(extra_restart):
+    """mcf-style pointer chase with RESTART slot(s) on the chase load."""
+    b = ProgramBuilder("chase")
+    b.movi(R(1), 0x1000)
+    b.movi(R(2), 0)
+    b.movi(R(3), 10)
+    b.label("loop")
+    b.ld(R(1), R(1), 0)            # 3: critical recurrence load
+    b.restart(R(1))                # 4: legal coverage
+    if extra_restart:
+        b.restart(R(1))            # 5: adds nothing
+    b.ld(R(4), R(1), 4)
+    b.mul(R(5), R(4), R(4))
+    b.add(R(2), R(2), R(5))
+    b.subi(R(3), R(3), 1)
+    b.cmplti(P(1), R(3), 1)
+    b.cmpeqi(P(2), P(1), 0)
+    b.br("loop", pred=P(2))
+    b.halt()
+    for i in range(16):
+        b.data_word(0x1000 + i * 8, 0x1000 + ((i + 1) % 16) * 8)
+        b.data_word(0x1000 + i * 8 + 4, i)
+    return b.build()
+
+
+def test_single_restart_on_critical_load_is_clean():
+    diags = verify_program(_chase_program(extra_restart=False))
+    assert not codes(diags) & {dc.RST001, dc.RST002, dc.RST003,
+                               dc.RST004}
+
+
+def test_second_restart_on_same_load_flags_RST004():
+    diags = verify_program(_chase_program(extra_restart=True))
+    (diag,) = [d for d in diags if d.code == dc.RST004]
+    assert diag.index == 5         # the second slot, not the first
+    assert not diag.is_error       # wasted slot, not an illegal program
+    assert dc.RST003 not in codes(diags)
+    assert_valid(_chase_program(extra_restart=True))
 
 
 # -- issue-group legality ---------------------------------------------------

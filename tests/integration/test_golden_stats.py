@@ -18,6 +18,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.analysis.bounds import cycle_lower_bound
 from repro.harness import MODEL_FACTORIES, TraceCache, run_model
 from repro.pipeline.stats import StallCategory
 from repro.workloads import ALL_WORKLOADS
@@ -47,6 +48,14 @@ def _simulate(workload):
 @pytest.mark.parametrize("workload", ALL_WORKLOADS)
 def test_golden_stats(workload, request):
     actual = _simulate(workload)
+    # The static cycle-bound oracle must hold on the full golden matrix:
+    # no model may simulate fewer cycles than the dependence-height
+    # lower bound of the workload's trace.
+    bound = cycle_lower_bound(_TRACES.trace(workload)).bound
+    for model in MODELS:
+        assert bound <= actual[model]["cycles"], (
+            f"{workload}/{model}: simulated {actual[model]['cycles']} "
+            f"cycles below the static lower bound {bound} (AUD001)")
     path = GOLDEN_DIR / f"{workload}.json"
     if request.config.getoption("--update-golden"):
         GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
