@@ -44,11 +44,29 @@ if require mypy; then
 fi
 
 step "pytest (tier-1 suite)"
+# Coverage floor: with pytest-cov available the tier-1 run also
+# measures line coverage of the four timing-core packages (the
+# columnar kernels and their scalar references) and fails below 85%
+# — a retired scalar path or a dead columnar branch that the
+# differential suites stopped reaching shows up here before it rots.
+# Like ruff/mypy, the plugin is optional locally and mandatory in CI
+# (pytest-cov ships in the [dev] extra); it is a python package, not
+# a binary, so the availability probe is an import, not command -v.
+cov_args=""
+if python -c "import pytest_cov" >/dev/null 2>&1; then
+    cov_args="--cov=repro.ooo --cov=repro.pipeline --cov=repro.multipass \
+--cov=repro.runahead --cov-report=term --cov-fail-under=85"
+elif [ "${REPRO_CI:-0}" = "1" ]; then
+    echo "pytest-cov not installed but REPRO_CI=1: FAIL (pip install -e .[dev])"
+    failures=$((failures + 1))
+else
+    echo "pytest-cov not installed; running without the coverage floor"
+fi
 # Shard across CPUs when pytest-xdist is available; serial otherwise.
 if python -c "import xdist" >/dev/null 2>&1; then
-    python -m pytest -x -q -n auto || failures=$((failures + 1))
+    python -m pytest -x -q -n auto $cov_args || failures=$((failures + 1))
 else
-    python -m pytest -x -q || failures=$((failures + 1))
+    python -m pytest -x -q $cov_args || failures=$((failures + 1))
 fi
 
 step "repro lint (workload verifier)"
@@ -71,6 +89,9 @@ python -m repro sweep --smoke --results-cache "$smoke_cache" \
 rm -rf "$smoke_cache"
 
 step "repro bench --smoke (perf gate: <=25% wall-clock regression)"
+# The baseline was re-recorded on the columnar kernels (PR 7): the
+# pre-columnar cells were up to 3.3x slower and would have let a
+# large regression in the new fast paths pass unnoticed.
 python -m repro bench --smoke \
     --against benchmarks/bench_smoke_baseline.json --max-regression 0.25 \
     || failures=$((failures + 1))

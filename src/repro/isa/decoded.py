@@ -60,7 +60,7 @@ class DecodedTrace:
     __slots__ = ("n", "fu", "issue_fu", "srcs", "dests", "static_dests",
                  "latency", "pc", "stop", "executed", "is_load", "is_store",
                  "is_branch", "is_restart", "mem_exec", "is_predicated",
-                 "addr", "value", "taken")
+                 "addr", "value", "taken", "_columns")
 
     def __init__(self, trace: "Trace"):
         entries = trace.entries
@@ -84,6 +84,8 @@ class DecodedTrace:
         self.addr = [None] * n
         self.value = [None] * n
         self.taken = [False] * n
+        # Columnar-kernel column cache (repro.isa.columns), built lazily.
+        self._columns = None
 
         # One spec lookup per opcode, not per entry.
         specs: Dict[Opcode, Tuple[OpSpec, bool]] = {}

@@ -45,17 +45,25 @@ class Cache:
 
     def __init__(self, config: CacheConfig):
         self.config = config
-        self._sets: List[Dict[int, int]] = [
-            {} for _ in range(config.num_sets)
-        ]
+        # Set dicts are created on first touch: big lower-level caches
+        # have thousands of sets, most never accessed in a short run,
+        # and models are constructed inside benchmark timing loops.
+        self._sets: List[Optional[Dict[int, int]]] = [None] * config.num_sets
+        # Geometry hoisted out of ``config`` for the per-access hot path.
+        self._line_size = config.line_size
+        self._num_sets = config.num_sets
         self._clock = 0
         self.accesses = 0
         self.hits = 0
         self.misses = 0
 
     def _locate(self, addr: int):
-        line = addr // self.config.line_size
-        return self._sets[line % self.config.num_sets], line
+        line = addr // self._line_size
+        idx = line % self._num_sets
+        cache_set = self._sets[idx]
+        if cache_set is None:
+            cache_set = self._sets[idx] = {}
+        return cache_set, line
 
     def probe(self, addr: int) -> bool:
         """Non-destructive presence check (no LRU update, no stats)."""
@@ -70,7 +78,11 @@ class Cache:
         """
         self.accesses += 1
         self._clock += 1
-        cache_set, line = self._locate(addr)
+        line = addr // self._line_size
+        idx = line % self._num_sets
+        cache_set = self._sets[idx]
+        if cache_set is None:
+            cache_set = self._sets[idx] = {}
         if line in cache_set:
             cache_set[line] = self._clock
             self.hits += 1
@@ -95,7 +107,8 @@ class Cache:
     def invalidate_all(self) -> None:
         """Flush all contents (used between experiment repetitions)."""
         for cache_set in self._sets:
-            cache_set.clear()
+            if cache_set is not None:
+                cache_set.clear()
 
     @property
     def miss_rate(self) -> float:

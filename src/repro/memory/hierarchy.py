@@ -73,14 +73,20 @@ class MemoryHierarchy:
         self.memory_accesses = 0
         # (cache id, line) -> fill-ready cycle, cleaned lazily.
         self._pending: Dict[tuple, int] = {}
+        # Latest fill-ready cycle ever marked pending: when ``now`` has
+        # passed it, every ``_pending`` entry is expired and the hit
+        # fast path can skip the per-access dict probe entirely.
+        self._pending_horizon = 0
+        # The level walks, prebuilt (``_data_levels`` rebuilt these
+        # lists on every access).
+        levels = [self.l2] if self.l3 is None else [self.l2, self.l3]
+        self._i_levels = tuple([self.l1i] + levels)
+        self._d_levels = tuple([self.l1d] + levels)
 
     # -- internal helpers -----------------------------------------------------
 
     def _data_levels(self, first: Cache):
-        levels = [first, self.l2]
-        if self.l3 is not None:
-            levels.append(self.l3)
-        return levels
+        return (self._i_levels if first is self.l1i else self._d_levels)
 
     def _pending_ready(self, cache: Cache, addr: int, now: int
                        ) -> Optional[int]:
@@ -95,6 +101,8 @@ class MemoryHierarchy:
 
     def _mark_pending(self, cache: Cache, addr: int, ready: int) -> None:
         self._pending[(id(cache), addr // cache.config.line_size)] = ready
+        if ready > self._pending_horizon:
+            self._pending_horizon = ready
 
     # -- public API -------------------------------------------------------------
 
@@ -113,8 +121,12 @@ class MemoryHierarchy:
             the access latency, the name of the level that served it and
             the absolute ready cycle.
         """
-        first = self.l1i if kind == "ifetch" else self.l1d
-        levels = self._data_levels(first)
+        if kind == "ifetch":
+            first = self.l1i
+            levels = self._i_levels
+        else:
+            first = self.l1d
+            levels = self._d_levels
 
         hit_level = None
         for depth, cache in enumerate(levels):
@@ -123,11 +135,17 @@ class MemoryHierarchy:
                 break
 
         if hit_level == 0:
-            pending = self._pending_ready(first, addr, now)
-            if pending is not None:
-                latency = max(first.config.latency, pending - now)
-                return AccessResult(latency, first.config.name,
-                                    now + latency, True)
+            # Hit fast path: the pending-fill probe only matters while a
+            # fill is still in flight anywhere in the hierarchy.
+            if self._pending:
+                if now < self._pending_horizon:
+                    pending = self._pending_ready(first, addr, now)
+                    if pending is not None:
+                        latency = max(first.config.latency, pending - now)
+                        return AccessResult(latency, first.config.name,
+                                            now + latency, True)
+                else:
+                    self._pending.clear()
             latency = first.config.latency
             return AccessResult(latency, first.config.name, now + latency,
                                 False)
@@ -169,6 +187,7 @@ class MemoryHierarchy:
         unit starts a fresh clock.
         """
         self._pending.clear()
+        self._pending_horizon = 0
         self.mshrs = MSHRFile(self.config.max_outstanding_misses)
 
     def stats(self) -> HierarchyStats:

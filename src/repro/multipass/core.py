@@ -35,12 +35,13 @@ loop because they observe every cycle.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Optional, Set
+from typing import Dict, Optional
 
-from ..isa.opcodes import FUClass, Opcode
+from ..isa.columns import columns_of
+from ..isa.opcodes import Opcode
+from ..isa.registers import NUM_REGS
 from ..isa.trace import Trace, TraceEntry
 from ..machine import MachineConfig
-from ..resources import PORT_CODE
 from ..pipeline.base import BaseCore
 from ..pipeline.stats import SimStats, StallCategory
 from .asc import (HIT, HIT_INVALID, INVALID, MISS_SPECULATIVE,
@@ -115,13 +116,24 @@ class MultipassCore(BaseCore):
         self.trigger_seq = -1
         self.trigger_ready = 0
 
-        # Per-pass advance state (the SRF + A/I bits and friends).
-        self.adv_reg: Dict[int, int] = {}   # A-bit set -> SRF ready cycle
-        self.poison: Set[int] = set()       # I-bit poisoned registers
+        # Per-pass advance state (the SRF + A/I bits and friends), kept
+        # as epoch-stamped flat columns indexed by register: a stamp
+        # equal to the current epoch means "set this pass".  A pass
+        # reset is then a single epoch bump instead of clearing three
+        # containers, and the advance hot loop indexes preallocated
+        # lists instead of hashing dict/set keys.
+        self._srf_epoch = 1
+        self._srf_stamp = [0] * NUM_REGS     # A-bit (SRF value present)
+        self._srf_ready = [0] * NUM_REGS     # SRF value ready cycle
+        self._poison_stamp = [0] * NUM_REGS  # I-bit
         # Known return times for poisoned values (in-flight fills): used
         # to schedule advance restarts so the restarted instruction meets
-        # its input at the REG stage (paper footnote 2).
-        self.poison_ready: Dict[int, int] = {}
+        # its input at the REG stage (paper footnote 2).  Deliberately a
+        # separate lifetime from the I-bit: clearing the poison bit does
+        # not forget the hint (the dict-based model it replaces kept
+        # stale hints visible to the hardware-restart scan).
+        self._pready_stamp = [0] * NUM_REGS
+        self._pready_val = [0] * NUM_REGS
         self.unknown_store = False          # a deferred store's address
         self.pass_dead = False              # advance went down a wrong path
         self.adv_stall_until = 0
@@ -130,8 +142,9 @@ class MultipassCore(BaseCore):
         # replaying the same trace).
         self._dec = trace.decoded
         # Small-int port class per seq for the inlined issue-port
-        # counters in both issue loops.
-        self._port_code = [PORT_CODE[fu] for fu in self._dec.issue_fu]
+        # counters in both issue loops (shared column, built once per
+        # trace).
+        self._port_code = columns_of(self._dec).port_code
 
     # ------------------------------------------------------------------
     # runtime invariants (the --check flag)
@@ -192,9 +205,9 @@ class MultipassCore(BaseCore):
     def _reset_pass_state(self) -> None:
         self._pass_execs = 0
         self._pass_defers = 0
-        self.adv_reg.clear()
-        self.poison.clear()
-        self.poison_ready.clear()
+        # O(1) wipe of the SRF/poison columns: old stamps never match
+        # the new epoch (the counter only grows).
+        self._srf_epoch += 1
         self.asc.clear()
         self.unknown_store = False
         self.pass_dead = False
@@ -243,17 +256,19 @@ class MultipassCore(BaseCore):
         ``"invalid"`` (a poisoned or cache-missing producer: suppress).
         """
         wait_until = now
-        adv_reg = self.adv_reg
-        poison = self.poison
+        epoch = self._srf_epoch
+        srf_stamp = self._srf_stamp
+        srf_ready = self._srf_ready
+        poison_stamp = self._poison_stamp
         reg_ready = self.reg_ready
         pending = self.load_miss_pending
         for src in srcs:
-            adv_ready = adv_reg.get(src)
-            if adv_ready is not None:          # A-bit: read the SRF value
+            if srf_stamp[src] == epoch:        # A-bit: read the SRF value
+                adv_ready = srf_ready[src]
                 if adv_ready > wait_until:
                     wait_until = adv_ready
                 continue
-            if src in poison:                  # I-bit
+            if poison_stamp[src] == epoch:     # I-bit
                 return "invalid", now
             arch_ready = reg_ready[src]
             if arch_ready > now:
@@ -302,9 +317,12 @@ class MultipassCore(BaseCore):
         m_used = i_used = f_used = b_used = 0
         window_end = min(dec.n, self.frontend.fetched_until,
                          self.arch_ptr + self.buffer_size)
-        adv_reg = self.adv_reg
-        poison = self.poison
-        poison_ready = self.poison_ready
+        epoch = self._srf_epoch
+        srf_stamp = self._srf_stamp
+        srf_ready = self._srf_ready
+        poison_stamp = self._poison_stamp
+        pready_stamp = self._pready_stamp
+        pready_val = self._pready_val
         enable_restart = self.enable_restart
         width = self.config.ports.width
         slots = 0
@@ -323,16 +341,18 @@ class MultipassCore(BaseCore):
                     # Result (typically a missing load from an earlier
                     # pass) still in flight: consumers stay deferred.
                     for dest in d_dests[seq]:
-                        poison.add(dest)
-                        poison_ready[dest] = rs_entry.ready
-                        adv_reg.pop(dest, None)
+                        poison_stamp[dest] = epoch
+                        pready_stamp[dest] = epoch
+                        pready_val[dest] = rs_entry.ready
+                        srf_stamp[dest] = 0
                     self.adv_ptr = seq + 1
                     slots += 1
                     continue
                 # Preserved result: no re-execution, breaks dependences.
                 for dest in d_dests[seq]:
-                    adv_reg[dest] = now
-                    poison.discard(dest)
+                    srf_stamp[dest] = epoch
+                    srf_ready[dest] = now
+                    poison_stamp[dest] = 0
                 counters["advance_merges"] += 1
                 if tel is not None:
                     tel.rs_hit(now, seq, entries[seq].inst.index,
@@ -347,9 +367,8 @@ class MultipassCore(BaseCore):
                     pending = self.load_miss_pending
                     hints = []
                     for src in d_srcs[seq]:
-                        hint = poison_ready.get(src)
-                        if hint is not None:
-                            hints.append(hint)
+                        if pready_stamp[src] == epoch:
+                            hints.append(pready_val[src])
                         elif pending[src]:
                             hints.append(pending[src])
                     self._advance_restart(now, max(hints) if hints
@@ -426,7 +445,11 @@ class MultipassCore(BaseCore):
             return False
         if self._pass_execs >= processed * self.hw_restart_fraction:
             return False
-        pending = [t for t in self.poison_ready.values() if t > now]
+        epoch = self._srf_epoch
+        pready_stamp = self._pready_stamp
+        pready_val = self._pready_val
+        pending = [pready_val[r] for r in range(NUM_REGS)
+                   if pready_stamp[r] == epoch and pready_val[r] > now]
         if not pending:
             return False
         self._advance_restart(now, min(pending))
@@ -438,9 +461,10 @@ class MultipassCore(BaseCore):
         dec = self._dec
         seq = entry.seq
         self.stats.counters["advance_deferrals"] += 1
+        epoch = self._srf_epoch
         for dest in dec.dests[seq]:
-            self.poison.add(dest)
-            self.adv_reg.pop(dest, None)
+            self._poison_stamp[dest] = epoch
+            self._srf_stamp[dest] = 0
         if dec.is_branch[seq]:
             # Direction unknown: follow the prediction.  When it disagrees
             # with the actual outcome the advance stream has gone down the
@@ -461,9 +485,10 @@ class MultipassCore(BaseCore):
         return 0
 
     def _advance_reg_invalid(self, reg: int, now: int) -> bool:
-        if reg in self.adv_reg:
+        epoch = self._srf_epoch
+        if self._srf_stamp[reg] == epoch:
             return False
-        if reg in self.poison:
+        if self._poison_stamp[reg] == epoch:
             return True
         return (self.reg_ready[reg] > now
                 and self.load_miss_pending[reg] > now)
@@ -511,10 +536,12 @@ class MultipassCore(BaseCore):
         # ALU / FP / mul-div / nop.
         latency = dec.latency[seq]
         dests = dec.dests[seq]
+        epoch = self._srf_epoch
         for dest in dests:
-            self.adv_reg[dest] = now + latency
-            self.poison.discard(dest)
-            self.poison_ready.pop(dest, None)
+            self._srf_stamp[dest] = epoch
+            self._srf_ready[dest] = now + latency
+            self._poison_stamp[dest] = 0
+            self._pready_stamp[dest] = 0
         if self.persist_results and (dests or entry.inst.opcode is
                                      Opcode.NOP):
             self.rs.put(RSEntry(seq, now + latency))
@@ -548,11 +575,17 @@ class MultipassCore(BaseCore):
             self.tracer.cache_miss(now, entry.seq, entry.inst.index,
                                    result.level)
 
+        epoch = self._srf_epoch
+        srf_stamp = self._srf_stamp
+        srf_ready = self._srf_ready
+        poison_stamp = self._poison_stamp
+        pready_stamp = self._pready_stamp
         if outcome == HIT:
             for dest in entry.dests:
-                self.adv_reg[dest] = now + 1
-                self.poison.discard(dest)
-                self.poison_ready.pop(dest, None)
+                srf_stamp[dest] = epoch
+                srf_ready[dest] = now + 1
+                poison_stamp[dest] = 0
+                pready_stamp[dest] = 0
             if self.persist_results:
                 self.rs.put(RSEntry(entry.seq, now + 1, value=entry.value,
                                     addr=addr))
@@ -560,8 +593,8 @@ class MultipassCore(BaseCore):
             return
         if outcome == HIT_INVALID:
             for dest in entry.dests:
-                self.poison.add(dest)
-                self.adv_reg.pop(dest, None)
+                poison_stamp[dest] = epoch
+                srf_stamp[dest] = 0
             return
 
         data_speculative = self.unknown_store or outcome == MISS_SPECULATIVE
@@ -576,25 +609,28 @@ class MultipassCore(BaseCore):
             self.stats.counters["sbit_loads"] += 1
         if l1_hit:
             for dest in entry.dests:
-                self.adv_reg[dest] = result.ready
-                self.poison.discard(dest)
-                self.poison_ready.pop(dest, None)
+                srf_stamp[dest] = epoch
+                srf_ready[dest] = result.ready
+                poison_stamp[dest] = 0
+                pready_stamp[dest] = 0
         elif self.l1_miss_writes_srf:
             # Ablation of the Section 3.5 WAW rule: expose the fill time
             # through the SRF so in-flight consumers wait for the bypass.
             self.stats.counters["advance_load_misses"] += 1
             for dest in entry.dests:
-                self.adv_reg[dest] = result.ready
-                self.poison.discard(dest)
-                self.poison_ready.pop(dest, None)
+                srf_stamp[dest] = epoch
+                srf_ready[dest] = result.ready
+                poison_stamp[dest] = 0
+                pready_stamp[dest] = 0
         else:
             # Section 3.5: L1-missing advance loads do not write the SRF;
             # consumers defer to a later pass (the RS catches the fill).
             self.stats.counters["advance_load_misses"] += 1
             for dest in entry.dests:
-                self.poison.add(dest)
-                self.poison_ready[dest] = result.ready
-                self.adv_reg.pop(dest, None)
+                poison_stamp[dest] = epoch
+                pready_stamp[dest] = epoch
+                self._pready_val[dest] = result.ready
+                srf_stamp[dest] = 0
 
     # ------------------------------------------------------------------
     # architectural / rally issue

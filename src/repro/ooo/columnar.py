@@ -1,0 +1,654 @@
+"""Event-driven columnar kernel for the out-of-order cores.
+
+Drop-in replacement for the scalar cycle loop in
+:mod:`repro.ooo.core` (kept there as the ``--slow``/traced reference):
+same machine, same statistics, bit-identical cycle counts and stall
+attribution, but the per-cycle *work* is restructured around
+preallocated flat columns and a wake-up event heap instead of polling
+the scheduling window:
+
+* **Dynamic producers, static routing.**  Rename walks the same
+  last-writer table as the scalar loop (including the squash reset that
+  *forgets* a surviving producer once a wrong-path writer clobbered its
+  slot — observable seed behaviour the static dependence graph cannot
+  express), and records each seq's still-invisible producers as a small
+  tuple (``cprods``) whose length seeds the ``pending`` count.  The
+  static consumer CSR of :mod:`repro.isa.columns` — a superset of the
+  dynamic graph — is used purely to *route* wake-ups.
+* **Wakeup is push, not poll.**  Issuing seq ``s`` pushes one event at
+  its visibility cycle ``now + latency + wakeup_delay``; when the event
+  fires, the static consumer list of ``s`` is walked (bounded by the
+  dispatch pointer — consumer lists are ascending) and each dispatched,
+  un-issued consumer that actually counted ``s`` at rename time
+  (``s in cprods[c]``) has its ``pending`` count dropped.  At zero the
+  consumer enters the sorted ``ready`` list.  The issue scan therefore
+  visits only instructions whose operands are all visible, instead of
+  the full 128-entry window every cycle.
+* **Incarnations.**  A squash re-dispatches the same seqs (trace
+  replay), so per-seq state is generation-stamped: ``gen[s]`` bumps at
+  squash and events carry the gen at issue time; a stale event is
+  discarded at pop.  Within one incarnation a producer's visibility is
+  monotone (anything that could un-issue a producer also squashes every
+  consumer that registered it), which is what makes the single
+  pending-decrement per (event, consumer) pair exact.
+
+Equivalence invariants (the bit-identity contract, see
+``docs/architecture.md`` §13):
+
+* ``pending[c] == 0`` at cycle ``t`` iff every rename-time producer of
+  ``c`` satisfies ``value_ready != 0 and value_ready <= t`` — exactly
+  the scalar issue-scan predicate.  Within one consumer incarnation each
+  counted producer issues at most once, so each ``(producer, consumer)``
+  pair decrements exactly once — no per-slot clearing is needed.
+* Events fire at the start of their cycle, before dispatch and issue —
+  the same ordering as the scalar loop's read of ``value_ready``.
+* No event can land inside a fast-forwarded span: every in-heap event
+  time is bounded below by the quiescence wake horizon that capped the
+  skip.
+* The window boundary (the ``window``-th oldest un-issued seq) and the
+  port counters are sampled once per cycle before the issue scan,
+  matching the scalar scan's fixed candidate slice.
+
+The differential suites (``tests/property/test_columnar.py``,
+``tests/property/test_fast_path.py``) and the golden matrix pin all of
+this against the scalar loop.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from heapq import heappop, heappush
+
+from ..isa.columns import columns_of
+from ..isa.registers import NUM_REGS
+from ..pipeline.stats import SimStats, StallCategory
+
+#: Sentinel wake-up target meaning "no in-flight completion at all".
+_INF = 1 << 62
+
+
+def run_columnar(core, max_cycles: int) -> SimStats:
+    """Run an :class:`~repro.ooo.core.OutOfOrderCore` to completion.
+
+    ``core`` must be freshly constructed, un-traced and not in ``--slow``
+    mode (the caller routes those to the scalar reference loop).
+    """
+    trace = core.trace
+    entries = trace.entries
+    dec = trace.decoded
+    n = dec.n
+    cols = columns_of(dec)
+    merge_dests = not core.ideal
+    graph = cols.dependences(merge_dests)
+    cons_off = graph.cons_off
+    cons_lists = graph.cons_tuples()
+    sprods = graph.prod_tuples()
+    port_code = cols.port_code
+    queue_code = cols.queue_code
+
+    d_srcs = dec.srcs
+    d_dests = dec.dests
+    d_sdests = dec.static_dests
+    d_pred = dec.is_predicated
+    d_lat = dec.latency
+    d_mem = dec.mem_exec
+    d_load = dec.is_load
+    d_addr = dec.addr
+    d_branch = dec.is_branch
+    d_taken = dec.taken
+
+    config = core.config
+    frontend = core.frontend
+    window = config.ooo_window
+    rob_capacity = config.ooo_rob
+    width = config.ports.width
+    fetch_buffer = core.buffer_size
+    stats = core.stats
+    counters = stats.counters
+    hierarchy = core.hierarchy
+    access = hierarchy.access
+    # Inline L1 fast paths: the kernel probes the L1 dicts directly and
+    # falls back to ``hierarchy.access`` whenever the line is absent or
+    # any fill is still pending, mirroring the hierarchy's own hit fast
+    # path (same stats, same LRU clocks, same latencies).
+    h_pending = hierarchy._pending
+    l1i_cache = hierarchy.l1i
+    l1i_id = id(l1i_cache)
+    l1i_sets = l1i_cache._sets
+    l1i_nsets = l1i_cache._num_sets
+    l1i_latency = l1i_cache.config.latency
+    l1d_cache = hierarchy.l1d
+    l1d_id = id(l1d_cache)
+    l1d_sets = l1d_cache._sets
+    l1d_line = l1d_cache._line_size
+    l1d_nsets = l1d_cache._num_sets
+    l1d_latency = l1d_cache.config.latency
+    fetch_width = frontend._fetch_width
+    inst_bytes = frontend._inst_bytes
+    f_pcs = frontend._pcs
+    f_lines = frontend._lines
+    # Front-end scalars, localized for the whole run.  The redirect is
+    # inlined below and ``frontend.tick`` is never called, so nothing
+    # outside this loop reads or writes them until the write-back at
+    # the bottom.
+    f_fetched = frontend.fetched_until
+    f_stall = frontend.stall_until
+    f_last = frontend._last_line
+    wakeup_delay = core.wakeup_delay
+    ports = config.ports
+    m_ports = ports.m_ports
+    i_ports = ports.i_ports
+    f_ports = ports.f_ports
+    b_ports = ports.b_ports
+    EXECUTION = StallCategory.EXECUTION
+    FRONT_END = StallCategory.FRONT_END
+    LOAD = StallCategory.LOAD
+    OTHER = StallCategory.OTHER
+    c_exec = c_fe = c_load = c_other = 0
+    n_loads = n_load_misses = n_mispredicts = n_commits = 0
+
+    replay = core.replay
+    queue_cap = core.decentralized_queues
+    has_queues = queue_cap is not None
+    queue_fill = [0, 0, 0]
+
+    # Branch predictor state, inlined (gshare.update is two table reads
+    # and a history shift -- not worth a call per branch).
+    predictor = frontend.predictor
+    bp_counters = predictor._counters
+    bp_mask = predictor._mask
+    bp_hist_mask = (1 << predictor._history_bits) - 1
+    bp_history = predictor._history
+    n_branches = n_bp_wrong = 0
+    d_pc = dec.pc
+    mispredict_penalty = config.mispredict_penalty
+    #: 2-bit counter transition tables (branchless saturating update).
+    BP_INC = (1, 2, 3, 3)
+    BP_DEC = (0, 0, 1, 2)
+
+    # Flat per-seq state (current incarnation).
+    value_ready = [0] * n        # visibility cycle; 0 = not issued
+    ready_cycle = [0] * n        # completion (commit-eligibility) cycle
+    pending = [0] * n            # not-yet-visible producer count
+    gen = [0] * n                # incarnation counter (bumped at squash)
+    unissued = bytearray(n)      # dispatched and awaiting issue
+    load_wait = bytearray(n)     # issued load that missed the L1
+    cprods = [()] * n            # rename-time invisible producer tuples
+    # reg -> last producing seq (-1: none); reproduces the scalar rename
+    # table including its post-squash forgetting, which is observable.
+    last_writer = [-1] * NUM_REGS
+    # Registers forgotten by a squash (reset to -1 while the static
+    # graph may still name a surviving producer) and not rewritten
+    # since.  While this set is empty the rename table is *provably*
+    # identical to the static prefix state, so dispatch can read its
+    # producers straight from the precomputed static tuples; while it
+    # is non-empty, dispatch falls back to the exact dynamic walk.
+    forgotten = set()
+
+    rob = []        # in-flight seqs, ascending; live slice is rob[rob_head:]
+    rob_head = 0
+    rob_len = 0
+    waiting = []    # dispatched un-issued seqs, ascending, exact
+    ready = []      # waiting seqs with every producer visible, ascending
+    # Wake-up events: near events (the common latencies, 1..WHEEL-1
+    # cycles out) go to a timing wheel slot and are drained exactly at
+    # their cycle; far events (memory misses) go to the heap.  Wheel
+    # entries are (producer, gen) -- a stale pair left in a slot that a
+    # fast-forward span jumped over is discarded by its gen when the
+    # slot next comes around.
+    WHEEL = 64
+    wheel = [[] for _ in range(WHEEL)]
+    heap = []       # (visibility_cycle, producer_seq, gen) far events
+
+    dispatch_ptr = 0
+    commit_ptr = 0
+    now = 0
+
+    while commit_ptr < n:
+        if now > max_cycles:
+            core.check_cycle_budget(now, max_cycles)
+
+        # ---- wake-ups: apply events due this cycle --------------------
+        slot = wheel[now & 63]
+        if slot:
+            for p, g in slot:
+                if gen[p] != g:
+                    continue                   # stale incarnation
+                for c in cons_lists[p]:
+                    if c >= dispatch_ptr:
+                        break                  # not dispatched yet
+                    if unissued[c] and p in cprods[c]:
+                        pend = pending[c] - 1
+                        pending[c] = pend
+                        if not pend:
+                            insort(ready, c)
+            del slot[:]
+        while heap and heap[0][0] <= now:
+            event = heappop(heap)
+            p = event[1]
+            if gen[p] != event[2]:
+                continue                       # stale incarnation
+            for c in cons_lists[p]:
+                if c >= dispatch_ptr:
+                    break                      # not dispatched yet
+                if unissued[c] and p in cprods[c]:
+                    pend = pending[c] - 1
+                    pending[c] = pend
+                    if not pend:
+                        insort(ready, c)
+
+        # ---- fetch (inlined frontend.tick) ----------------------------
+        if f_fetched < n and now >= f_stall:
+            limit = commit_ptr + fetch_buffer
+            if limit > n:
+                limit = n
+            if f_fetched < limit:
+                stop = f_fetched + fetch_width
+                if stop > limit:
+                    stop = limit
+                fu = f_fetched
+                last = f_last
+                while fu < stop:
+                    line = f_lines[fu]
+                    if line != last:
+                        cset = l1i_sets[line % l1i_nsets]
+                        if cset is not None and line in cset:
+                            # L1I hit: bump stats and LRU exactly like
+                            # Cache.access; serve a still-in-flight
+                            # fill with its remaining time, like the
+                            # hierarchy's pending probe.
+                            fill_wait = 0
+                            if h_pending and now < \
+                                    hierarchy._pending_horizon:
+                                key = (l1i_id, line)
+                                r = h_pending.get(key)
+                                if r is not None:
+                                    if r <= now:
+                                        del h_pending[key]
+                                    else:
+                                        fill_wait = r - now
+                            l1i_cache.accesses += 1
+                            clk = l1i_cache._clock + 1
+                            l1i_cache._clock = clk
+                            cset[line] = clk
+                            l1i_cache.hits += 1
+                            if fill_wait > l1i_latency:
+                                last = line
+                                f_stall = now + fill_wait
+                                frontend.icache_stall_cycles += fill_wait
+                                break
+                        else:
+                            result = access(f_pcs[fu] * inst_bytes, now,
+                                            "ifetch")
+                            if result.latency > l1i_latency:
+                                last = line
+                                f_stall = result.ready
+                                frontend.icache_stall_cycles += \
+                                    result.latency
+                                break
+                        last = line
+                    fu += 1
+                f_last = last
+                f_fetched = fu
+
+        # ---- dispatch (rename) ----------------------------------------
+        dstart = dispatch_ptr
+        dstop = dstart + width
+        if dstop > f_fetched:
+            dstop = f_fetched
+        rob_free = dstart + rob_capacity - rob_len + rob_head
+        if dstop > rob_free:
+            dstop = rob_free
+        while dispatch_ptr < dstop:
+            seq = dispatch_ptr
+            if has_queues:
+                qc = queue_code[seq]
+                if queue_fill[qc] >= queue_cap:
+                    break                      # in-order dispatch blocks
+                queue_fill[qc] += 1
+            if not forgotten:
+                # Clean table: the static producer tuple IS the rename
+                # result; only the visibility filter is dynamic.
+                prods = sprods[seq]
+                if prods:
+                    keep = None
+                    for p in prods:
+                        r = value_ready[p]
+                        if r == 0 or r > now:
+                            if keep is None:
+                                keep = [p]
+                            else:
+                                keep.append(p)
+                    prods = () if keep is None else keep
+                if merge_dests and d_pred[seq]:
+                    dest_iter = d_sdests[seq]
+                else:
+                    dest_iter = d_dests[seq]
+                for dest in dest_iter:
+                    last_writer[dest] = seq
+            else:
+                prods = []
+                for src in d_srcs[seq]:
+                    p = last_writer[src]
+                    if p >= 0 and p not in prods:
+                        r = value_ready[p]
+                        if r == 0 or r > now:
+                            prods.append(p)
+                if merge_dests and d_pred[seq]:
+                    # Without predicate renaming, a predicated write
+                    # must merge with the destination's previous value.
+                    dest_iter = d_sdests[seq]
+                    for dest in dest_iter:
+                        p = last_writer[dest]
+                        if p >= 0 and p not in prods:
+                            r = value_ready[p]
+                            if r == 0 or r > now:
+                                prods.append(p)
+                else:
+                    dest_iter = d_dests[seq]
+                for dest in dest_iter:
+                    last_writer[dest] = seq
+                    forgotten.discard(dest)
+            pend = len(prods)
+            cprods[seq] = prods
+            pending[seq] = pend
+            unissued[seq] = 1
+            rob.append(seq)
+            rob_len += 1
+            waiting.append(seq)
+            if not pend:
+                # Dispatch runs in ascending seq order and every earlier
+                # insertion this cycle is older, so append keeps ``ready``
+                # sorted.
+                ready.append(seq)
+            dispatch_ptr += 1
+        dispatched = dispatch_ptr - dstart
+
+        # ---- issue (dataflow select over the ready list) ---------------
+        issued = 0
+        squash_after = -1
+        if ready:
+            # Window boundary and port budget are fixed at cycle start,
+            # like the scalar scan's candidate slice.
+            wlimit = waiting[window - 1] if len(waiting) > window else _INF
+            m_used = i_used = f_used = b_used = 0
+            i = 0
+            rlen = len(ready)
+            while i < rlen:
+                seq = ready[i]
+                if seq > wlimit:
+                    break                      # outside the window
+                code = port_code[seq]
+                if code == 1:                  # ALU: I port, M fallback
+                    if i_used < i_ports:
+                        i_used += 1
+                    elif m_used < m_ports:
+                        m_used += 1
+                    else:
+                        i += 1
+                        continue
+                elif code == 0:                # MEM
+                    if m_used >= m_ports:
+                        i += 1
+                        continue
+                    m_used += 1
+                elif code == 3:                # BR
+                    if b_used >= b_ports:
+                        i += 1
+                        continue
+                    b_used += 1
+                elif code == 2:                # FP / MULDIV
+                    if f_used >= f_ports:
+                        i += 1
+                        continue
+                    f_used += 1
+                del ready[i]
+                rlen -= 1
+                if waiting[0] == seq:
+                    del waiting[0]
+                else:
+                    del waiting[bisect_left(waiting, seq)]
+                latency = d_lat[seq]
+                miss = False
+                if d_mem[seq]:
+                    addr = d_addr[seq]
+                    line = addr // l1d_line
+                    cset = l1d_sets[line % l1d_nsets]
+                    if cset is not None and line in cset:
+                        # L1D hit: same stats/LRU updates as
+                        # Cache.access; an in-flight fill serves with
+                        # its remaining time and still counts as a
+                        # miss, like the hierarchy's pending probe.
+                        fill_wait = 0
+                        if h_pending and now < \
+                                hierarchy._pending_horizon:
+                            key = (l1d_id, line)
+                            r = h_pending.get(key)
+                            if r is not None:
+                                if r <= now:
+                                    del h_pending[key]
+                                else:
+                                    fill_wait = r - now
+                        l1d_cache.accesses += 1
+                        clk = l1d_cache._clock + 1
+                        l1d_cache._clock = clk
+                        cset[line] = clk
+                        l1d_cache.hits += 1
+                        if d_load[seq]:
+                            n_loads += 1
+                            if fill_wait:
+                                miss = True
+                                n_load_misses += 1
+                                load_wait[seq] = 1
+                                if fill_wait > l1d_latency:
+                                    latency = fill_wait
+                                else:
+                                    latency = l1d_latency
+                            else:
+                                latency = l1d_latency
+                    elif d_load[seq]:
+                        result = access(addr, now)
+                        latency = result.latency
+                        miss = result.l1_miss
+                        n_loads += 1
+                        if miss:
+                            n_load_misses += 1
+                            load_wait[seq] = 1
+                    else:
+                        access(addr, now, kind="store")
+                unissued[seq] = 0
+                rdy = now + latency
+                ready_cycle[seq] = rdy
+                visible = rdy + wakeup_delay
+                value_ready[seq] = visible
+                if cons_lists[seq]:
+                    # (A producer with no static consumers could never
+                    # decrement anything; don't schedule its wake-up.)
+                    if visible - now < WHEEL:
+                        wheel[visible & 63].append((seq, gen[seq]))
+                    else:
+                        heappush(heap, (visible, seq, gen[seq]))
+                if has_queues:
+                    queue_fill[queue_code[seq]] -= 1
+                issued += 1
+                if d_branch[seq]:
+                    # Inline gshare.update + FrontEnd.redirect.
+                    idx = (d_pc[seq] ^ bp_history) & bp_mask
+                    counter = bp_counters[idx]
+                    taken = d_taken[seq]
+                    n_branches += 1
+                    if taken:
+                        bp_counters[idx] = BP_INC[counter]
+                        bp_history = ((bp_history << 1) | 1) \
+                            & bp_hist_mask
+                        wrong = counter < 2
+                    else:
+                        bp_counters[idx] = BP_DEC[counter]
+                        bp_history = (bp_history << 1) & bp_hist_mask
+                        wrong = counter >= 2
+                    if wrong:
+                        n_bp_wrong += 1
+                        frontend.redirects += 1
+                        if f_fetched > seq + 1:
+                            f_fetched = seq + 1
+                        redirect_stall = now + mispredict_penalty
+                        if redirect_stall > f_stall:
+                            f_stall = redirect_stall
+                        f_last = -1
+                        n_mispredicts += 1
+                        squash_after = seq
+                        break
+                if issued >= width:
+                    break
+
+        # ---- squash wrong-path work younger than the branch ------------
+        if squash_after >= 0:
+            pos = bisect_right(rob, squash_after, rob_head)
+            for idx in range(pos, rob_len):
+                s = rob[idx]
+                gen[s] += 1                    # invalidate in-heap events
+                value_ready[s] = 0
+                load_wait[s] = 0
+                if unissued[s]:
+                    unissued[s] = 0
+                    if has_queues:
+                        queue_fill[queue_code[s]] -= 1
+                # Forget squashed rename-table entries.  A register maps
+                # beyond the squash point iff its most recent writer is
+                # one of the squashed seqs, so visiting each squashed
+                # seq's dispatch-time dests (the same dest set rename
+                # used) covers exactly the slots the scalar loop's full
+                # table sweep would reset.
+                if merge_dests and d_pred[s]:
+                    dests = d_sdests[s]
+                else:
+                    dests = d_dests[s]
+                for dest in dests:
+                    if last_writer[dest] > squash_after:
+                        last_writer[dest] = -1
+                        forgotten.add(dest)
+            del rob[pos:]
+            rob_len = pos
+            del waiting[bisect_right(waiting, squash_after):]
+            del ready[bisect_right(ready, squash_after):]
+            dispatch_ptr = squash_after + 1
+
+        # ---- commit ----------------------------------------------------
+        committed = 0
+        while rob_head < rob_len and committed < width:
+            s = rob[rob_head]
+            if unissued[s] or ready_cycle[s] > now:
+                break
+            rob_head += 1
+            commit_ptr = s + 1
+            if replay is not None:
+                replay.commit(entries[s])
+            committed += 1
+        n_commits += committed
+        if rob_head > 128:
+            del rob[:rob_head]
+            rob_len -= rob_head
+            rob_head = 0
+
+        # ---- attribution -----------------------------------------------
+        if issued:
+            c_exec += 1
+        elif rob_head == rob_len:
+            c_fe += 1
+        else:
+            h = rob[rob_head]
+            if not unissued[h]:
+                cause = LOAD if load_wait[h] else OTHER
+            else:
+                cause = OTHER
+                for p in cprods[h]:
+                    r = value_ready[p]
+                    if r == 0 or r > now:
+                        cause = LOAD if d_load[p] else OTHER
+                        break
+            if cause is LOAD:
+                c_load += 1
+            else:
+                c_other += 1
+        now += 1
+
+        # ---- idle fast-forward ------------------------------------------
+        # Whole-machine quiescence: nothing dispatched, issued or
+        # committed this cycle.  Quiescence is *self-sustaining* until
+        # the earliest in-flight completion/wakeup horizon: no issue
+        # means no squash; no commit means the ROB (and any full issue
+        # queue) stays blocked; the waiting list, window boundary and
+        # port demands are frozen, so a zero-issue scan repeats
+        # verbatim.  The only per-cycle actor left is fetch, so the
+        # skip is gated on fetch being a no-op for the whole span —
+        # the base-class clamp keyed on the (frozen) commit pointer.
+        # This subsumes the scalar loop's stricter dispatch-pointer
+        # veto: a capacity-blocked dispatch cannot unblock before a
+        # commit, and the wake horizon bounds the first commit.  (The
+        # heap cannot replace the horizon scan: an event landing
+        # exactly on ``now`` has already been popped, yet must veto
+        # the skip.)
+        if not issued and not committed and not dispatched \
+                and rob_head < rob_len:
+            limit = commit_ptr + fetch_buffer
+            if limit > n:
+                limit = n
+            if f_fetched >= limit:
+                cap = _INF                 # fetch done or buffer full
+            else:
+                cap = f_stall               # I-stalled: skip to the fill
+        else:
+            cap = 0
+        if cap > now:
+            wake = _INF
+            for idx in range(rob_head, rob_len):
+                s = rob[idx]
+                if unissued[s]:
+                    continue
+                r = ready_cycle[s]
+                if r < now:
+                    r += wakeup_delay
+                    if r < now:
+                        continue
+                if r < wake:
+                    wake = r
+            skip_to = wake if wake < cap else cap
+            if now < skip_to < _INF:
+                # Same attribution rule, evaluated at the post-increment
+                # cycle like the scalar loop.
+                h = rob[rob_head]
+                if not unissued[h]:
+                    cause = LOAD if load_wait[h] else OTHER
+                else:
+                    cause = OTHER
+                    for p in cprods[h]:
+                        r = value_ready[p]
+                        if r == 0 or r > now:
+                            cause = LOAD if d_load[p] else OTHER
+                            break
+                if cause is LOAD:
+                    c_load += skip_to - now
+                else:
+                    c_other += skip_to - now
+                now = skip_to
+
+    frontend.fetched_until = f_fetched
+    frontend.stall_until = f_stall
+    frontend._last_line = f_last
+    predictor._history = bp_history
+    predictor.predictions += n_branches
+    predictor.mispredictions += n_bp_wrong
+    stats.instructions += n_commits
+    if n_loads:
+        counters["loads_issued"] += n_loads
+    if n_load_misses:
+        counters["l1d_load_misses"] += n_load_misses
+    if n_mispredicts:
+        counters["mispredicts"] += n_mispredicts
+    breakdown = stats.cycle_breakdown
+    breakdown[EXECUTION] += c_exec
+    breakdown[FRONT_END] += c_fe
+    breakdown[LOAD] += c_load
+    breakdown[OTHER] += c_other
+    stats.cycles += c_exec + c_fe + c_load + c_other
+    return core.finalize()

@@ -25,18 +25,17 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Optional
 
+from ..isa.columns import columns_of
 from ..isa.opcodes import FUClass
 from ..isa.registers import NUM_REGS
 from ..isa.trace import Trace, TraceEntry
 from ..machine import MachineConfig
-from ..resources import PORT_CODE
 from ..pipeline.base import BaseCore
 from ..pipeline.stats import SimStats, StallCategory
+from .columnar import run_columnar
 
 #: Sentinel wake-up target meaning "no in-flight completion at all".
 _INF = 1 << 62
-
-_PORT_CODE = PORT_CODE
 
 
 class _RobEntry:
@@ -101,6 +100,19 @@ class OutOfOrderCore(BaseCore):
     # ------------------------------------------------------------------
 
     def run(self, max_cycles: int = 500_000_000) -> SimStats:
+        """Route to the columnar kernel or the scalar reference loop.
+
+        The event-driven columnar kernel (:mod:`repro.ooo.columnar`) is
+        the production path; ``--slow`` and traced runs take the scalar
+        cycle loop below, which doubles as the bit-identity reference
+        (telemetry needs per-cycle event fidelity anyway).  Both paths
+        support ``--check`` replay.
+        """
+        if self.slow or self.tracer.enabled:
+            return self._run_scalar(max_cycles)
+        return run_columnar(self, max_cycles)
+
+    def _run_scalar(self, max_cycles: int = 500_000_000) -> SimStats:
         trace = self.trace
         entries = trace.entries
         dec = trace.decoded
@@ -134,7 +146,7 @@ class OutOfOrderCore(BaseCore):
         i_ports = ports.i_ports
         f_ports = ports.f_ports
         b_ports = ports.b_ports
-        port_code = [_PORT_CODE[fu] for fu in d_ifu]
+        port_code = columns_of(dec).port_code  # shared column
         EXECUTION = StallCategory.EXECUTION
         FRONT_END = StallCategory.FRONT_END
         LOAD = StallCategory.LOAD

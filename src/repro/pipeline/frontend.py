@@ -10,6 +10,7 @@ standard trace-driven misprediction model.
 from __future__ import annotations
 
 from ..branch.gshare import GsharePredictor
+from ..isa.columns import columns_of
 from ..isa.trace import Trace, TraceEntry
 from ..machine import MachineConfig
 from ..memory.hierarchy import MemoryHierarchy
@@ -35,6 +36,11 @@ class FrontEnd:
         self._n = len(trace)
         self._fetch_width = config.fetch_width
         self._inst_bytes = config.instruction_bytes
+        self._l1i_latency = hierarchy.config.l1i.latency
+        dec = trace.decoded
+        self._pcs = dec.pc
+        self._lines = columns_of(dec).fetch_lines(
+            self._inst_bytes, self._line_size)
         self.icache_stall_cycles = 0
         self.redirects = 0
         if config.prewarm_icache:
@@ -72,30 +78,35 @@ class FrontEnd:
         limit = consume_ptr + self.buffer_size
         if limit > self._n:
             limit = self._n
+        fu = self.fetched_until
         # Hot early-out: the buffer is full (or the trace exhausted) on
         # the vast majority of ticks once fetch has caught up.
-        if self.fetched_until >= limit or now < self.stall_until:
+        if fu >= limit or now < self.stall_until:
             return
-        fetched = 0
+        stop = fu + self._fetch_width
+        if stop > limit:
+            stop = limit
         tracer = self.tracer if self.tracer.enabled else None
-        inst_bytes = self._inst_bytes
-        line_size = self._line_size
-        entries = self.trace.entries
-        while fetched < self._fetch_width and self.fetched_until < limit:
-            entry = entries[self.fetched_until]
-            addr = entry.inst.index * inst_bytes
-            line = addr // line_size
-            if line != self._last_line:
-                result = self.hierarchy.access(addr, now, kind="ifetch")
-                self._last_line = line
-                if result.latency > self.hierarchy.config.l1i.latency:
+        pcs = self._pcs
+        lines = self._lines
+        last = self._last_line
+        while fu < stop:
+            line = lines[fu]
+            if line != last:
+                result = self.hierarchy.access(
+                    pcs[fu] * self._inst_bytes, now, kind="ifetch")
+                last = line
+                if result.latency > self._l1i_latency:
+                    self._last_line = last
+                    self.fetched_until = fu
                     self.stall_until = result.ready
                     self.icache_stall_cycles += result.latency
                     return
             if tracer is not None:
-                tracer.fetch(now, entry.seq, entry.inst.index)
-            self.fetched_until += 1
-            fetched += 1
+                tracer.fetch(now, fu, pcs[fu])
+            fu += 1
+        self._last_line = last
+        self.fetched_until = fu
 
     def resolve_branch(self, entry: TraceEntry, now: int,
                        already_resolved: bool = False) -> bool:

@@ -14,9 +14,9 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..isa.columns import columns_of
 from ..isa.trace import Trace
 from ..machine import MachineConfig
-from ..resources import PORT_CODE
 from .base import BaseCore
 from .stats import SimStats, StallCategory
 
@@ -44,7 +44,7 @@ class InOrderCore(BaseCore):
         i_ports = ports.i_ports
         f_ports = ports.f_ports
         b_ports = ports.b_ports
-        port_code = [PORT_CODE[fu] for fu in dec.issue_fu]
+        port_code = columns_of(dec).port_code  # shared per-trace column
         reg_ready = self.reg_ready
         pending = self.load_miss_pending
         stats = self.stats

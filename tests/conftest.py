@@ -1,9 +1,39 @@
-"""Shared test helpers: program construction and trace compilation."""
+"""Shared test helpers: program construction and trace compilation.
+
+Also registers the hypothesis profiles the property suites run under:
+
+``dev`` (default)
+    Stock randomized search — good at finding new counterexamples
+    locally, where a flaky failure is a lead rather than a blocked
+    merge.
+
+``ci`` (loaded when ``REPRO_CI=1``)
+    Derandomized: the example sequence is derived from each test's
+    source, so two CI runs of the same tree explore the same examples
+    and a red gate always reproduces locally with ``REPRO_CI=1``.
+    The example budget is raised (the differential suites are the
+    main correctness gate for the columnar kernels), except where a
+    test pins its own ``max_examples`` for runtime reasons — per-test
+    ``@settings`` take precedence over the profile by design.
+"""
+
+import os
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.compiler import CompileOptions, compile_program
 from repro.isa import ProgramBuilder, execute
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", settings.get_profile("default"))
+settings.load_profile("ci" if os.environ.get("REPRO_CI") == "1" else "dev")
 
 
 def pytest_addoption(parser):

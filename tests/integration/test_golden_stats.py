@@ -1,8 +1,9 @@
 """Golden per-workload stats for every primary timing model.
 
 Each ``tests/golden/<workload>.json`` pins cycles, committed
-instructions and the four-way stall breakdown at scale 0.1 for all five
-primary models.  Any drift — a timing-model change, a compiler-pass
+instructions, the four-way stall breakdown, branch-prediction accuracy
+and the full event-counter dict at scale 0.1 for all five primary
+models.  Any drift — a timing-model change, a compiler-pass
 change, a workload-generator change — fails here; regenerate the files
 deliberately with::
 
@@ -37,6 +38,13 @@ def _payload(stats):
         "instructions": stats.instructions,
         "stalls": {category.value: stats.cycle_breakdown[category]
                    for category in StallCategory},
+        # The full counter dict pins poll/event counts that totals can
+        # hide: a fast-forward span that forgets to replicate per-cycle
+        # counters (the PR 5 idle-skip bug class) drifts here even when
+        # cycles agree.
+        "branch_accuracy": stats.branch_accuracy,
+        "counters": {name: int(value)
+                     for name, value in sorted(stats.counters.items())},
     }
 
 

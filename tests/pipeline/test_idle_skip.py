@@ -1,0 +1,88 @@
+"""Seeded regression for the idle-skip (fast-forward overshoot) bug class.
+
+The PR 5 ooo idle-skip bug: a fast-forward span was allowed to jump the
+clock past a cycle on which an in-flight event (a fill completion, a
+wake-up, a fetch resume) landed, because the skip bound was computed
+before the event was scheduled — the event arrived *exactly one cycle
+after the proposed skip start*, the worst-case alignment.
+
+These programs are built to reproduce that alignment deliberately: a
+cold load opens a main-memory-latency stall span (the skip trigger),
+and a sweep of single-cycle filler instructions shifts every subsequent
+event — the consumer's wake-up, a second staggered miss, its fill —
+cycle by cycle across the span boundary.  Somewhere in the sweep each
+event lands exactly on the first skipped cycle; a skip that overshoots
+by even one cycle drifts the cycle count or the stall attribution and
+fails the differential against the ``slow=True`` reference, which never
+skips.
+
+Asserted for every registered model (all of them fast-forward through
+``BaseCore.next_event_cycle`` or, for the OOO cores, the columnar
+kernel's span logic).
+"""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.harness import ABLATION_FACTORIES, MODEL_FACTORIES, run_model
+from repro.isa import P, ProgramBuilder, R, execute
+
+ALL_MODELS = sorted({**MODEL_FACTORIES, **ABLATION_FACTORIES})
+
+#: Filler sweep: wide enough to slide events across a whole issue group
+#: plus the span boundary on either side.
+PADS = range(0, 9)
+
+#: Second-load placement: same line as the first (serves from the
+#: in-flight fill — the "event lands mid-span" case), the next line
+#: (an independent overlapping miss) and two lines out.
+GAPS = (4, 64, 128)
+
+
+def _boundary_program(pad: int, gap: int):
+    """A cold miss, ``pad`` cycles of slide, then dependent wake-ups."""
+    b = ProgramBuilder(f"idle-skip-p{pad}-g{gap}")
+    b.movi(R(12), 0x1000)
+    b.movi(R(1), 1)
+    b.ld(R(2), R(12), 0)          # cold load: main-memory latency
+    for _ in range(pad):          # slide the alignment one cycle at a time
+        b.addi(R(1), R(1), 1)
+    b.add(R(3), R(2), R(1))       # consumer: wakes exactly at the fill
+    b.ld(R(4), R(12), gap)        # staggered second miss / pending hit
+    b.add(R(5), R(4), R(3))
+    b.cmplti(P(1), R(5), 0)
+    b.addi(R(6), R(5), 1, pred=P(1))
+    b.halt()
+    return execute(compile_program(b.build()))
+
+
+def _comparable(stats):
+    return (stats.cycles, stats.instructions, dict(stats.cycle_breakdown),
+            dict(stats.counters), stats.branch_accuracy)
+
+
+@pytest.mark.parametrize("model", ALL_MODELS)
+def test_skip_never_jumps_a_boundary_event(model):
+    for gap in GAPS:
+        for pad in PADS:
+            trace = _boundary_program(pad, gap)
+            fast = run_model(model, trace)
+            slow = run_model(model, trace, slow=True)
+            assert _comparable(fast) == _comparable(slow), (
+                f"{model}: fast path diverged from the per-cycle "
+                f"reference at pad={pad} gap={gap} — a fast-forward "
+                f"span jumped an event that landed on a skipped cycle")
+
+
+@pytest.mark.parametrize("model", ALL_MODELS)
+def test_skip_sound_under_commit_verification(model):
+    """The same sweep with architectural replay checking enabled.
+
+    ``check=True`` cross-checks every commit against independent
+    re-execution, so an overshooting skip that dropped or reordered a
+    commit fails loudly here even if the aggregate stats happened to
+    collide.
+    """
+    trace = _boundary_program(4, 64)
+    stats = run_model(model, trace, check=True)
+    assert stats.instructions == len(trace)
