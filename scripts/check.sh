@@ -88,6 +88,62 @@ python -m repro sweep --smoke --results-cache "$smoke_cache" \
     || failures=$((failures + 1))
 rm -rf "$smoke_cache"
 
+step "repro serve / submit (sweep service end-to-end)"
+serve_dir="$(mktemp -d)"
+# Loopback server on an ephemeral port; the port file is the rendezvous.
+python -m repro serve --port 0 --port-file "$serve_dir/port" \
+    --parallel 2 --results-cache "$serve_dir/cache" \
+    >"$serve_dir/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$serve_dir/port" ] && break
+    sleep 0.1
+done
+if [ ! -s "$serve_dir/port" ]; then
+    echo "sweep service never published its port:"
+    cat "$serve_dir/serve.log"
+    kill "$serve_pid" 2>/dev/null
+    failures=$((failures + 1))
+else
+    serve_port="$(cat "$serve_dir/port")"
+    # Cold submit simulates every cell; warm resubmit must serve the
+    # whole grid from the shared cache without a single simulation.
+    python -m repro submit --smoke --port "$serve_port" --json \
+        >"$serve_dir/cold.json" || failures=$((failures + 1))
+    python -m repro submit --smoke --port "$serve_port" --json \
+        >"$serve_dir/warm.json" || failures=$((failures + 1))
+    python - "$serve_dir/cold.json" "$serve_dir/warm.json" \
+        <<'EOF' || failures=$((failures + 1))
+import json, sys
+from repro.harness import run_matrix
+cold = json.load(open(sys.argv[1]))
+warm = json.load(open(sys.argv[2]))
+serial = run_matrix(("inorder", "multipass"), ("vpr", "parser"),
+                    scale=0.05)
+cells = {(e["workload"], e["model"]): e["stats"]
+         for e in cold["events"] if e["kind"] == "cell"}
+assert len(cells) == 4, sorted(cells)
+for (w, m), stats in cells.items():
+    assert stats == serial.get(w, m).to_dict(), \
+        f"{w}/{m}: service result differs from a direct sweep"
+assert cold["report"]["failures"] == 0, cold["report"]
+assert warm["report"]["simulated"] == 0, warm["report"]
+assert warm["report"]["cache_hits"] > 0, warm["report"]
+print("service smoke ok: 4 cells bit-identical to a direct sweep, "
+      f"warm resubmit {warm['report']['cache_hits']} cache hit(s), "
+      "0 simulations")
+EOF
+    # Clean shutdown: SIGTERM must reap the fleet and exit 0.
+    kill -TERM "$serve_pid"
+    if wait "$serve_pid"; then
+        echo "service shut down cleanly"
+    else
+        echo "service exited non-zero on SIGTERM"
+        failures=$((failures + 1))
+    fi
+fi
+rm -rf "$serve_dir"
+
 step "repro bench --smoke (perf gate: <=25% wall-clock regression)"
 # The baseline was re-recorded on the columnar kernels (PR 7): the
 # pre-columnar cells were up to 3.3x slower and would have let a

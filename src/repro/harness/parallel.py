@@ -254,6 +254,15 @@ class SweepReport:
     def ok(self) -> bool:
         return not self.failures
 
+    def failure_lines(self) -> List[str]:
+        """One rendered row per failed cell (exception class, cell id,
+        retry count) — shared with the service client's report."""
+        return [
+            f"  FAILED {failure.workload}/{failure.model} after "
+            f"{failure.attempts} attempt(s): {failure.error}"
+            for failure in self.failures
+        ]
+
     def summary(self) -> str:
         rate = (f", {self.cells / self.elapsed:.1f} cells/s"
                 if self.elapsed > 0 else "")
@@ -263,10 +272,7 @@ class SweepReport:
             f"{self.simulated} simulated, "
             f"{self.cache_hits} from cache, {len(self.failures)} failed"
         ]
-        for failure in self.failures:
-            lines.append(
-                f"  FAILED {failure.workload}/{failure.model} after "
-                f"{failure.attempts} attempt(s): {failure.error}")
+        lines.extend(self.failure_lines())
         return "\n".join(lines)
 
     def raise_on_failure(self) -> None:

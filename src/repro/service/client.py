@@ -1,0 +1,197 @@
+"""Thin blocking client for the sweep service (stdlib ``http.client``).
+
+The client turns a job-event stream back into the exact shapes the
+batch engine produces: a :class:`~repro.harness.experiment.Matrix` of
+real :class:`~repro.pipeline.stats.SimStats` (reconstructed
+bit-identically via ``SimStats.from_dict``) plus
+:class:`~repro.harness.parallel.CellResult` failure rows — so code
+written against ``repro sweep``'s :class:`SweepReport` consumes
+service results unchanged.  ``repro submit`` is just this library
+plus argument parsing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from http.client import HTTPConnection
+from typing import Callable, Iterator, Optional
+
+from ..harness.experiment import Matrix
+from ..harness.parallel import SweepReport
+from .protocol import cell_result_from_event, decode_line
+from .spec import JobSpec
+
+#: Default port for ``repro serve`` / ``repro submit``.
+DEFAULT_PORT = 8734
+
+
+class ServiceError(RuntimeError):
+    """The server rejected a request or broke protocol."""
+
+
+@dataclass
+class ServiceSweepReport(SweepReport):
+    """A :class:`SweepReport` assembled from service events.
+
+    ``simulated``/``cache_hits`` keep their batch-engine meaning;
+    ``deduped`` counts cells this job *attached to* — another client's
+    in-flight simulation served this job too — and the three are
+    mutually exclusive per cell.
+    """
+
+    deduped: int = 0
+    job_id: str = ""
+    job_key: str = ""
+
+    def summary(self) -> str:
+        rate = (f", {self.cells / self.elapsed:.1f} cells/s"
+                if self.elapsed > 0 else "")
+        lines = [
+            f"job {self.job_id}: {self.cells} cell(s) via {self.jobs} "
+            f"server worker(s) in {self.elapsed:.1f}s{rate} — "
+            f"{self.simulated} simulated, {self.cache_hits} from "
+            f"cache, {self.deduped} deduped, "
+            f"{len(self.failures)} failed"
+        ]
+        lines.extend(self.failure_lines())
+        return "\n".join(lines)
+
+
+class ServiceClient:
+    """Blocking HTTP client; one connection per request/stream.
+
+    ``timeout`` applies to connect and to individual reads.  Event
+    streams emit a line per resolved cell, so any healthy job keeps the
+    stream moving; the default (no timeout) never gives up on a slow
+    cell.
+    """
+
+    def __init__(self, host: str = "127.0.0.1",
+                 port: int = DEFAULT_PORT,
+                 timeout: Optional[float] = None):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _connect(self) -> HTTPConnection:
+        if self.timeout is None:
+            return HTTPConnection(self.host, self.port)
+        return HTTPConnection(self.host, self.port,
+                              timeout=self.timeout)
+
+    def _request(self, method: str, path: str,
+                 doc: Optional[dict] = None) -> dict:
+        conn = self._connect()
+        try:
+            body = (json.dumps(doc).encode()
+                    if doc is not None else None)
+            headers = ({"Content-Type": "application/json"}
+                       if body is not None else {})
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()
+            except OSError as exc:
+                raise ServiceError(
+                    f"cannot reach sweep service at "
+                    f"{self.host}:{self.port}: {exc}") from exc
+            try:
+                parsed = json.loads(payload) if payload else {}
+            except ValueError:
+                parsed = {"error": payload[:200].decode("latin-1")}
+            if response.status >= 400:
+                raise ServiceError(
+                    f"{method} {path} -> {response.status}: "
+                    f"{parsed.get('error', 'unknown error')}")
+            return parsed
+        finally:
+            conn.close()
+
+    # -- endpoints ------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def submit(self, spec: JobSpec) -> dict:
+        """Post a job; returns ``{"id", "key", "cells", "workers"}``."""
+        return self._request("POST", "/jobs", spec.to_dict())
+
+    def job_status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop cleanly (reaps its worker fleet)."""
+        return self._request("POST", "/shutdown")
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Follow a job's JSONL event stream (history + live)."""
+        conn = self._connect()
+        try:
+            try:
+                conn.request("GET", f"/jobs/{job_id}/events")
+                response = conn.getresponse()
+            except OSError as exc:
+                raise ServiceError(
+                    f"cannot reach sweep service at "
+                    f"{self.host}:{self.port}: {exc}") from exc
+            if response.status != 200:
+                payload = response.read()[:200].decode("latin-1")
+                raise ServiceError(
+                    f"GET /jobs/{job_id}/events -> "
+                    f"{response.status}: {payload}")
+            # HTTPResponse undoes the chunked framing; what is left is
+            # exactly the telemetry-style JSONL stream.
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield decode_line(line)
+        finally:
+            conn.close()
+
+    def run(self, spec: JobSpec,
+            on_event: Optional[Callable[[dict], None]] = None
+            ) -> ServiceSweepReport:
+        """Submit a spec and follow it to completion.
+
+        The returned report's matrix holds stats bit-identical to a
+        local ``repro sweep`` of the same spec; failure rows reuse the
+        batch engine's schema.
+        """
+        accepted = self.submit(spec)
+        report = ServiceSweepReport(
+            matrix=Matrix(scale=spec.scale),
+            cells=accepted.get("cells", 0),
+            jobs=accepted.get("workers", 0),
+            job_id=accepted.get("id", ""),
+            job_key=accepted.get("key", ""))
+        done = False
+        for event in self.events(report.job_id):
+            if on_event is not None:
+                on_event(event)
+            kind = event.get("kind")
+            if kind == "cell":
+                row = cell_result_from_event(event)
+                if event.get("dedup"):
+                    report.deduped += 1
+                elif event.get("source") == "cache":
+                    report.cache_hits += 1
+                else:
+                    report.simulated += 1
+                if row.ok:
+                    cell = (row.workload, row.model)
+                    report.matrix.results[cell] = row.stats
+                else:
+                    report.failures.append(row)
+            elif kind == "done":
+                report.elapsed = event.get("elapsed", 0.0)
+                done = True
+        if not done:
+            raise ServiceError(
+                f"event stream for {report.job_id} ended before the "
+                f"job completed")
+        return report
+
+
+__all__ = ["DEFAULT_PORT", "ServiceClient", "ServiceError",
+           "ServiceSweepReport"]

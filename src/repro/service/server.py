@@ -1,0 +1,256 @@
+"""Minimal asyncio HTTP/1.1 framing for the sweep service.
+
+Stdlib only, by design: ``asyncio.start_server`` plus hand-rolled
+request parsing and response framing — the service's wire format is
+JSON documents and JSONL event streams, so a general web framework
+would add dependencies without adding capability.  One request per
+connection (``Connection: close``), which keeps the framing trivial
+and matches the client library's usage.
+
+Routes:
+
+* ``GET  /health``            — service + cache status JSON.
+* ``POST /jobs``              — submit a :class:`JobSpec`; ``202``
+  with ``{"id", "key", "cells", "workers"}``.
+* ``GET  /jobs/<id>``         — job status JSON (``404`` unknown).
+* ``GET  /jobs/<id>/events``  — chunked JSONL event stream: full
+  history replay, then live events, ending with the ``done`` event.
+* ``POST /shutdown``          — request a clean server stop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from pathlib import Path
+from typing import Callable, Optional
+
+from .jobs import SweepService
+from .protocol import encode_line
+from .spec import JobSpec, SpecError
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            500: "Internal Server Error"}
+
+#: Upper bound on request bodies; job specs are tiny.
+_MAX_BODY = 1 << 20
+
+
+class HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one request: ``(method, path, headers, body)`` or None."""
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise HttpError(400, "request line too long") from None
+    if not line:
+        return None
+    try:
+        method, target, _version = line.decode("latin-1").split(None, 2)
+    except ValueError:
+        raise HttpError(400, "malformed request line") from None
+    headers = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+        if len(headers) > 100:
+            raise HttpError(400, "too many headers")
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise HttpError(400, "bad Content-Length") from None
+    if length < 0 or length > _MAX_BODY:
+        raise HttpError(400, "request body too large")
+    body = await reader.readexactly(length) if length else b""
+    path = target.split("?", 1)[0]
+    return method.upper(), path, headers, body
+
+
+def _write_head(writer: asyncio.StreamWriter, status: int,
+                headers: str) -> None:
+    reason = _REASONS.get(status, "Unknown")
+    writer.write(f"HTTP/1.1 {status} {reason}\r\n{headers}"
+                 f"Connection: close\r\n\r\n".encode("latin-1"))
+
+
+async def _send_json(writer: asyncio.StreamWriter, status: int,
+                     doc: dict) -> None:
+    body = (json.dumps(doc, sort_keys=True) + "\n").encode()
+    _write_head(writer, status,
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n")
+    writer.write(body)
+    await writer.drain()
+
+
+class ServiceServer:
+    """Bind a :class:`SweepService` to a listening socket."""
+
+    def __init__(self, service: SweepService, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await _read_request(reader)
+            if request is not None:
+                await self._dispatch(*request, writer)
+        except HttpError as err:
+            try:
+                await _send_json(writer, err.status,
+                                 {"error": err.message})
+            except (ConnectionError, OSError):
+                pass
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass  # client went away mid-request/stream
+        except Exception as exc:  # pragma: no cover - defensive
+            try:
+                await _send_json(writer, 500,
+                                 {"error": f"{type(exc).__name__}: "
+                                           f"{exc}"})
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, method: str, path: str, headers: dict,
+                        body: bytes,
+                        writer: asyncio.StreamWriter) -> None:
+        if path == "/health":
+            if method != "GET":
+                raise HttpError(405, "use GET")
+            await _send_json(writer, 200, self.service.health())
+            return
+        if path == "/shutdown":
+            if method != "POST":
+                raise HttpError(405, "use POST")
+            await _send_json(writer, 200, {"status": "stopping"})
+            self.service.request_stop()
+            return
+        if path == "/jobs":
+            if method != "POST":
+                raise HttpError(405, "use POST")
+            await self._submit(body, writer)
+            return
+        if path.startswith("/jobs/"):
+            parts = path[len("/jobs/"):].split("/")
+            job = self.service.job(parts[0])
+            if job is None:
+                raise HttpError(404, f"unknown job {parts[0]!r}")
+            if len(parts) == 1:
+                if method != "GET":
+                    raise HttpError(405, "use GET")
+                await _send_json(writer, 200, job.status())
+                return
+            if len(parts) == 2 and parts[1] == "events":
+                if method != "GET":
+                    raise HttpError(405, "use GET")
+                await self._stream_events(job, writer)
+                return
+        raise HttpError(404, f"no route for {method} {path}")
+
+    async def _submit(self, body: bytes,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            doc = json.loads(body.decode() or "null")
+        except (ValueError, UnicodeDecodeError):
+            raise HttpError(400, "request body is not JSON") from None
+        try:
+            spec = JobSpec.from_dict(doc)
+        except SpecError as err:
+            raise HttpError(400, str(err)) from None
+        job = self.service.submit(spec)
+        await _send_json(writer, 202, {
+            "id": job.id,
+            "key": spec.job_key(self.service.store.tree_digest),
+            "cells": len(spec.workloads) * len(spec.models),
+            "workers": self.service.workers,
+        })
+
+    async def _stream_events(self, job,
+                             writer: asyncio.StreamWriter) -> None:
+        _write_head(writer, 200,
+                    "Content-Type: application/x-ndjson\r\n"
+                    "Transfer-Encoding: chunked\r\n"
+                    "Cache-Control: no-store\r\n")
+        async for event in job.stream():
+            data = encode_line(event)
+            writer.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+
+async def serve_async(service: SweepService, host: str = "127.0.0.1",
+                      port: int = 0, *,
+                      port_file: Optional[str] = None,
+                      ready: Optional[Callable[[int], None]] = None,
+                      banner: bool = True) -> None:
+    """Run the service until a stop is requested, then shut down clean.
+
+    ``port_file``/``ready`` publish the bound port (``--port 0`` picks
+    a free one), which is how check.sh and the tests rendezvous with a
+    freshly spawned server.  SIGINT/SIGTERM request the same graceful
+    stop as ``POST /shutdown``: stop accepting, reap the worker fleet
+    (``shutdown(wait=True)`` — no orphans), then return.
+    """
+    server = ServiceServer(service, host, port)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, service.request_stop)
+            installed.append(signum)
+        except (NotImplementedError, ValueError, RuntimeError):
+            pass  # non-main thread or platform without loop signals
+    if banner:
+        print(f"repro serve: listening on http://{host}:{server.port} "
+              f"with {service.workers} worker(s); cache at "
+              f"{service.store.root}", flush=True)
+    if port_file:
+        Path(port_file).write_text(f"{server.port}\n")
+    if ready is not None:
+        ready(server.port)
+    try:
+        await service.wait_stopped()
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+        await server.stop()
+        service.shutdown()
+
+
+__all__ = ["HttpError", "ServiceServer", "serve_async"]

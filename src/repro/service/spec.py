@@ -1,0 +1,217 @@
+"""Declarative sweep specs: the job language of the sweep service.
+
+A :class:`JobSpec` names *what* to simulate — workloads x models at a
+scale, plus flat machine/compile overrides — and nothing about *how*
+(worker count, cache location and streaming are service concerns).
+Clients post specs as JSON; the server expands them into the same
+:class:`~repro.harness.parallel.CellSpec` grid the CLI sweep engine
+uses, so a cell requested through the service is *the same cell* —
+same :func:`~repro.harness.results_cache.cell_key`, same cached entry,
+bit-identical stats — as one run by ``repro sweep``.
+
+Canonicalization: a job **is** its set of cells.  ``job_key`` hashes
+the sorted, de-duplicated cell keys, so two specs collide exactly when
+they expand to the same cell set — list order and repeated names never
+matter, and anything that perturbs a ``cell_key`` (scale, overrides,
+budget, source tree) perturbs the job key.  Execution details that
+cannot change results (``timeout``) are deliberately excluded.  The
+in-flight dedup layer keys on the individual cell keys, so two
+*overlapping* (not identical) jobs still share their common cells.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler import CompileOptions
+from ..harness.experiment import ABLATION_FACTORIES, MODEL_FACTORIES
+from ..harness.parallel import DEFAULT_MAX_INSTRUCTIONS, CellSpec
+from ..harness.results_cache import cell_key
+from ..machine import MachineConfig
+from ..workloads import ALL_WORKLOADS
+
+
+class SpecError(ValueError):
+    """A job spec that cannot be turned into sweep cells."""
+
+
+#: The only value types accepted for wire overrides: flat scalars.
+#: Structured fields (port model, cache hierarchy) are not expressible
+#: in a JSON job spec; rejecting them loudly beats a silently wrong
+#: fingerprint.
+_SCALAR_TYPES = (bool, int, float, str)
+
+
+def _apply_overrides(base, overrides: Dict[str, object], what: str):
+    """``dataclasses.replace`` with field/type validation."""
+    if not overrides:
+        return base
+    valid = {f.name for f in dataclasses.fields(base)}
+    for name, value in overrides.items():
+        if name not in valid:
+            raise SpecError(
+                f"unknown {what} field {name!r}; valid: {sorted(valid)}")
+        current = getattr(base, name)
+        if not isinstance(current, _SCALAR_TYPES):
+            raise SpecError(
+                f"{what} field {name!r} is not overridable over the "
+                f"wire (it takes a {type(current).__name__})")
+        if not isinstance(value, _SCALAR_TYPES):
+            raise SpecError(
+                f"{what} override {name!r} must be a scalar, "
+                f"got {type(value).__name__}")
+    return dataclasses.replace(base, **overrides)
+
+
+@dataclass
+class JobSpec:
+    """One declarative sweep: workloads x models at a scale.
+
+    ``machine`` and ``compile`` are flat ``{field: scalar}`` overrides
+    applied on top of the default :class:`MachineConfig` /
+    :class:`CompileOptions`; ``timeout`` is a per-cell wall-clock
+    budget in seconds (an execution knob — never part of the job key).
+    """
+
+    workloads: Tuple[str, ...]
+    models: Tuple[str, ...]
+    scale: float = 1.0
+    machine: Dict[str, object] = field(default_factory=dict)
+    compile: Dict[str, object] = field(default_factory=dict)
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        # Canonicalize structurally: the spec is a *set* of cells, so
+        # list order and duplicates are normalized away up front.
+        self.workloads = tuple(sorted(set(self.workloads)))
+        self.models = tuple(sorted(set(self.models)))
+        if not self.workloads:
+            raise SpecError("a job needs at least one workload")
+        if not self.models:
+            raise SpecError("a job needs at least one model")
+        unknown = [w for w in self.workloads if w not in ALL_WORKLOADS]
+        if unknown:
+            raise SpecError(f"unknown workload(s) {unknown}; "
+                            f"available: {sorted(ALL_WORKLOADS)}")
+        known_models = {**MODEL_FACTORIES, **ABLATION_FACTORIES}
+        unknown = [m for m in self.models if m not in known_models]
+        if unknown:
+            raise SpecError(f"unknown model(s) {unknown}; "
+                            f"available: {sorted(known_models)}")
+        if not (isinstance(self.scale, (int, float)) and self.scale > 0):
+            raise SpecError(f"scale must be positive, got {self.scale!r}")
+        if self.max_instructions <= 0:
+            raise SpecError("max_instructions must be positive")
+        if self.timeout is not None and self.timeout <= 0:
+            raise SpecError("timeout must be positive when given")
+        # Validate the overrides eagerly so a bad spec is rejected at
+        # submission time, not when its first cell is scheduled.
+        self.machine_config()
+        self.compile_options()
+
+    # -- expansion ------------------------------------------------------
+
+    def machine_config(self) -> MachineConfig:
+        return _apply_overrides(MachineConfig(), self.machine, "machine")
+
+    def compile_options(self) -> CompileOptions:
+        return _apply_overrides(CompileOptions(), self.compile, "compile")
+
+    def cells(self) -> List[CellSpec]:
+        """The cell grid, in deterministic (workload, model) order."""
+        config = self.machine_config()
+        options = self.compile_options()
+        return [CellSpec(workload, model, self.scale, options, config,
+                         self.max_instructions)
+                for workload in self.workloads for model in self.models]
+
+    # -- canonicalization -----------------------------------------------
+
+    def cell_keys(self, tree_digest: Optional[str] = None
+                  ) -> Dict[Tuple[str, str], str]:
+        """Content-addressed key per cell — the service dedup unit."""
+        config = self.machine_config()
+        options = self.compile_options()
+        return {
+            (workload, model): cell_key(
+                workload, model, self.scale, options, config,
+                self.max_instructions, tree_digest=tree_digest)
+            for workload in self.workloads for model in self.models
+        }
+
+    def job_key(self, tree_digest: Optional[str] = None) -> str:
+        """SHA-256 over the sorted cell-key set.
+
+        Collides exactly when :meth:`cell_keys` produces the same set —
+        the property suite in ``tests/service/test_spec_property.py``
+        pins this.
+        """
+        keys = sorted(set(self.cell_keys(tree_digest).values()))
+        return hashlib.sha256("|".join(keys).encode()).hexdigest()
+
+    # -- wire form ------------------------------------------------------
+
+    _FIELDS = ("workloads", "models", "scale", "machine", "compile",
+               "max_instructions", "timeout")
+
+    def to_dict(self) -> dict:
+        return {
+            "workloads": list(self.workloads),
+            "models": list(self.models),
+            "scale": self.scale,
+            "machine": dict(self.machine),
+            "compile": dict(self.compile),
+            "max_instructions": self.max_instructions,
+            "timeout": self.timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: object) -> "JobSpec":
+        if not isinstance(doc, dict):
+            raise SpecError(f"job spec must be a JSON object, "
+                            f"got {type(doc).__name__}")
+        unknown = sorted(set(doc) - set(cls._FIELDS))
+        if unknown:
+            raise SpecError(f"unknown job spec field(s) {unknown}; "
+                            f"valid: {sorted(cls._FIELDS)}")
+        for required in ("workloads", "models"):
+            if not isinstance(doc.get(required), (list, tuple)):
+                raise SpecError(f"job spec field {required!r} must be "
+                                f"a list of names")
+        machine = doc.get("machine") or {}
+        compile_overrides = doc.get("compile") or {}
+        for name, overrides in (("machine", machine),
+                                ("compile", compile_overrides)):
+            if not isinstance(overrides, dict):
+                raise SpecError(f"job spec field {name!r} must be an "
+                                f"object of field overrides")
+        timeout = doc.get("timeout")
+        try:
+            return cls(
+                workloads=tuple(str(w) for w in doc["workloads"]),
+                models=tuple(str(m) for m in doc["models"]),
+                scale=float(doc.get("scale", 1.0)),
+                machine=dict(machine),
+                compile=dict(compile_overrides),
+                max_instructions=int(doc.get("max_instructions",
+                                             DEFAULT_MAX_INSTRUCTIONS)),
+                timeout=(float(timeout) if timeout is not None
+                         else None))
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, SpecError):
+                raise
+            raise SpecError(f"malformed job spec: {exc}") from exc
+
+    @classmethod
+    def smoke(cls) -> "JobSpec":
+        """The check.sh smoke grid — identical cells to
+        ``repro sweep --smoke``, so their caches interoperate."""
+        return cls(workloads=("vpr", "parser"),
+                   models=("inorder", "multipass"), scale=0.05)
+
+
+__all__ = ["JobSpec", "SpecError"]

@@ -1,0 +1,194 @@
+"""Cache features the sweep service leans on: LRU bound, safe counters.
+
+Covers the size-bounded eviction path (true LRU — hits refresh an
+entry's clock), the ``flock``-serialized lifetime counters under
+concurrent writers, corrupt-sidecar recovery, and the human/machine
+size rendering behind ``repro cache stats``.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.harness.results_cache import (ResultsCache, human_bytes,
+                                         parse_size)
+
+TD = "cache-test-digest"
+
+
+def _key(i: int) -> str:
+    return f"{i:064x}"
+
+
+def _fill(cache: ResultsCache, count: int, payload: int = 1000):
+    """Store ``count`` entries and give them strictly increasing ages
+    (entry 0 oldest).  Returns the per-entry on-disk size."""
+    for i in range(count):
+        cache.put(_key(i), b"x" * payload)
+    base = 1_700_000_000
+    for i in range(count):
+        path = cache._path(_key(i))
+        os.utime(path, (base + i, base + i))
+    return cache._path(_key(0)).stat().st_size
+
+
+class TestLruEviction:
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ResultsCache(tmp_path, tree_digest=TD)
+        _fill(cache, 4)
+        assert cache.evict() == 0
+        assert len(cache) == 4
+
+    def test_under_limit_no_eviction(self, tmp_path):
+        cache = ResultsCache(tmp_path, tree_digest=TD)
+        entry = _fill(cache, 3)
+        cache.max_bytes = 4 * entry
+        assert cache.evict() == 0
+        assert len(cache) == 3
+
+    def test_evicts_oldest_first_until_under_bound(self, tmp_path):
+        cache = ResultsCache(tmp_path, tree_digest=TD)
+        entry = _fill(cache, 4)
+        cache.max_bytes = 2 * entry
+        assert cache.evict() == 2
+        assert cache.get(_key(0)) is None
+        assert cache.get(_key(1)) is None
+        assert cache.get(_key(2)) is not None
+        assert cache.get(_key(3)) is not None
+        assert cache.stats.evictions == 2
+        assert cache._lifetime()["evictions"] == 2
+
+    def test_hits_refresh_the_lru_clock(self, tmp_path):
+        cache = ResultsCache(tmp_path, tree_digest=TD)
+        entry = _fill(cache, 3)
+        # Touch the oldest entry: a hit must move it to the young end,
+        # sacrificing entry 1 instead.
+        assert cache.get(_key(0)) is not None
+        cache.max_bytes = 2 * entry
+        assert cache.evict() == 1
+        assert cache.get(_key(1)) is None
+        assert cache.get(_key(0)) is not None
+        assert cache.get(_key(2)) is not None
+
+    def test_put_triggers_eviction_automatically(self, tmp_path):
+        cache = ResultsCache(tmp_path, tree_digest=TD)
+        entry = _fill(cache, 2)
+        cache.max_bytes = 2 * entry
+        cache.put(_key(7), b"x" * 1000)
+        # The store itself enforced the bound: oldest entry gone.
+        assert len(cache) == 2
+        assert cache.get(_key(0)) is None
+        assert cache.get(_key(7)) is not None
+
+    def test_constructor_accepts_human_sizes(self, tmp_path):
+        cache = ResultsCache(tmp_path, tree_digest=TD, max_bytes="2K")
+        assert cache.max_bytes == 2048
+
+
+class TestConcurrentCounters:
+    def test_parallel_bumps_are_never_lost(self, tmp_path):
+        cache = ResultsCache(tmp_path, tree_digest=TD)
+        per_thread, threads = 25, 8
+
+        def bump():
+            for _ in range(per_thread):
+                cache._bump_lifetime(hits=1)
+
+        workers = [threading.Thread(target=bump)
+                   for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert cache._lifetime()["hits"] == per_thread * threads
+
+    def test_two_instances_share_one_ledger(self, tmp_path):
+        a = ResultsCache(tmp_path, tree_digest=TD)
+        b = ResultsCache(tmp_path, tree_digest=TD)
+        a._bump_lifetime(stores=2)
+        b._bump_lifetime(stores=3)
+        assert a._lifetime()["stores"] == 5
+        assert b._lifetime()["stores"] == 5
+
+
+class TestCorruptSidecar:
+    @pytest.mark.parametrize("junk", [
+        b"not json at all", b"[1, 2, 3]", b'"hits"', b"{trunc",
+    ])
+    def test_corrupt_stats_file_resets_to_zero(self, tmp_path, junk):
+        cache = ResultsCache(tmp_path, tree_digest=TD)
+        (tmp_path / cache._STATS_FILE).write_bytes(junk)
+        assert cache._lifetime() == {
+            "hits": 0, "misses": 0, "stores": 0, "errors": 0,
+            "evictions": 0}
+        # Bumping on top of the wreck recovers a clean ledger.
+        cache._bump_lifetime(hits=1)
+        assert cache._lifetime()["hits"] == 1
+
+    def test_non_integer_counter_values_reset(self, tmp_path):
+        cache = ResultsCache(tmp_path, tree_digest=TD)
+        (tmp_path / cache._STATS_FILE).write_text(
+            json.dumps({"hits": "zebra", "misses": 4,
+                        "stores": None}))
+        life = cache._lifetime()
+        assert life["hits"] == 0
+        assert life["misses"] == 4
+        assert life["stores"] == 0
+
+
+class TestSizeRendering:
+    @pytest.mark.parametrize("text,expected", [
+        (512, 512), ("512", 512), ("512b", 512), ("1k", 1024),
+        ("1K", 1024), ("1.5k", 1536), ("512M", 512 * 1024 ** 2),
+        ("2GiB", 2 * 1024 ** 3), ("1tb", 1024 ** 4),
+    ])
+    def test_parse_size_accepts_human_strings(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_parse_size_none_means_unbounded(self):
+        assert parse_size(None) is None
+
+    @pytest.mark.parametrize("bad", ["zebra", "", "5x", "-5", "0",
+                                     0, -1])
+    def test_parse_size_rejects_junk_loudly(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    @pytest.mark.parametrize("size,expected", [
+        (0, "0 B"), (512, "512 B"), (1536, "1.5 KiB"),
+        (1024 ** 2, "1.0 MiB"), (3 * 1024 ** 3, "3.0 GiB"),
+        (2 * 1024 ** 4, "2.0 TiB"),
+    ])
+    def test_human_bytes(self, size, expected):
+        assert human_bytes(size) == expected
+
+
+class TestDescribe:
+    def test_describe_dict_shape(self, tmp_path):
+        cache = ResultsCache(tmp_path, tree_digest=TD, max_bytes="1M")
+        cache.put(_key(0), b"payload")
+        assert cache.get(_key(0)) == b"payload"
+        assert cache.get(_key(1)) is None
+        doc = cache.describe_dict()
+        assert doc["root"] == str(tmp_path)
+        assert doc["entries"] == 1
+        assert doc["size_bytes"] > 0
+        assert doc["size_human"] == human_bytes(doc["size_bytes"])
+        assert doc["max_bytes"] == 1024 ** 2
+        assert doc["source_digest"] == TD
+        assert doc["lifetime"]["hits"] == 1
+        assert doc["lifetime"]["misses"] == 1
+        assert doc["lifetime_hit_rate"] == 0.5
+        assert doc["session"] == cache.stats.to_dict()
+        # The whole document is JSON-serializable (health endpoint).
+        json.dumps(doc)
+
+    def test_describe_mentions_bound_and_evictions(self, tmp_path):
+        cache = ResultsCache(tmp_path, tree_digest=TD, max_bytes=2048)
+        text = cache.describe()
+        assert "2.0 KiB" in text
+        assert "eviction(s)" in text
+        unbounded = ResultsCache(tmp_path, tree_digest=TD)
+        assert "unbounded" in unbounded.describe()

@@ -1,0 +1,242 @@
+"""End-to-end service tests: real HTTP server, real worker fleet.
+
+The acceptance claims under test:
+
+* two concurrent clients submitting the identical spec get every cell
+  simulated **exactly once** between them, and both matrices are
+  bit-identical to a locally run sweep;
+* a warm resubmission performs zero simulations;
+* failures surface through the job API with the batch engine's
+  failure-row schema (exception class, cell id, retry count);
+* the server shuts down cleanly — no orphan worker processes, the
+  serving thread exits.
+
+Injected runners are module-level so the fork-based fleet can pickle
+them by reference (same convention as ``test_parallel_faults``).
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.harness import run_matrix
+from repro.harness.parallel import simulate_cell
+from repro.service import (WIRE_VERSION, JobSpec, ServiceClient,
+                           ServiceError, SweepService, serve_async)
+
+SCALE = 0.05
+WORKLOADS = ("vpr", "parser")
+MODELS = ("inorder", "multipass")
+CELLS = len(WORKLOADS) * len(MODELS)
+
+
+def _failing_runner(spec):
+    if spec.model == "multipass":
+        raise ValueError("injected service fault")
+    return simulate_cell(spec)
+
+
+@pytest.fixture(scope="module")
+def serial_matrix():
+    return run_matrix(MODELS, WORKLOADS, scale=SCALE, parallel=1)
+
+
+class _LiveServer:
+    """A served SweepService on an ephemeral loopback port."""
+
+    def __init__(self, **service_kwargs):
+        kwargs = {"jobs": 2}
+        kwargs.update(service_kwargs)
+        self.service = SweepService(**kwargs)
+        ready = threading.Event()
+        box = {}
+
+        def publish(port):
+            box["port"] = port
+            ready.set()
+
+        self.thread = threading.Thread(
+            target=lambda: asyncio.run(
+                serve_async(self.service, "127.0.0.1", 0,
+                            ready=publish, banner=False)),
+            daemon=True)
+        self.thread.start()
+        assert ready.wait(15), "server failed to start"
+        self.port = box["port"]
+
+    def client(self, timeout=120.0) -> ServiceClient:
+        return ServiceClient("127.0.0.1", self.port, timeout=timeout)
+
+    def stop(self):
+        try:
+            self.client(timeout=10.0).shutdown()
+        except ServiceError:
+            pass
+        self.thread.join(timeout=30)
+        assert not self.thread.is_alive(), "server thread leaked"
+
+
+@pytest.fixture
+def live_server():
+    servers = []
+
+    def start(**kwargs):
+        server = _LiveServer(**kwargs)
+        servers.append(server)
+        return server
+
+    yield start
+    for server in servers:
+        server.stop()
+
+
+def test_concurrent_clients_share_one_execution(live_server,
+                                                serial_matrix):
+    server = live_server()
+    spec = JobSpec(workloads=WORKLOADS, models=MODELS, scale=SCALE)
+    reports = [None, None]
+    errors = []
+
+    def run_client(slot):
+        try:
+            reports[slot] = server.client().run(spec)
+        except Exception as exc:  # surfaced below, with context
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run_client, args=(slot,))
+               for slot in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors, f"client failed: {errors}"
+
+    for report in reports:
+        assert report is not None
+        assert not report.failures
+        # Per-cell accounting is mutually exclusive and complete.
+        assert (report.simulated + report.cache_hits
+                + report.deduped) == CELLS
+        # Bit-identity with a locally run sweep: dataclass equality
+        # over full SimStats, memory hierarchies and counters included.
+        assert report.matrix.results == serial_matrix.results
+        assert report.matrix.scale == SCALE
+
+    # The acceptance criterion: between both clients, each cell was
+    # simulated exactly once — the rest were dedup/cache shares.
+    health = server.client().health()
+    assert health["counters"]["cells_simulated"] == CELLS
+    assert health["counters"]["cells_requested"] == 2 * CELLS
+    assert health["counters"]["cells_failed"] == 0
+
+    # Warm resubmission: zero simulations, same bits.
+    warm = server.client().run(spec)
+    assert warm.simulated == 0
+    assert warm.cache_hits + warm.deduped == CELLS
+    assert warm.matrix.results == serial_matrix.results
+    assert server.client().health()["counters"][
+        "cells_simulated"] == CELLS
+
+    # A finished job replays its full history to late subscribers.
+    replay = list(server.client().events(warm.job_id))
+    kinds = [event["kind"] for event in replay]
+    assert kinds[0] == "job"
+    assert kinds[-1] == "done"
+    assert kinds.count("cell") == CELLS
+    assert replay[0]["wire_version"] == WIRE_VERSION
+
+    # Job status reflects the completed accounting.
+    status = server.client().job_status(warm.job_id)
+    assert status["done"] is True
+    assert status["resolved"] == CELLS
+    assert status["simulated"] == 0
+
+
+def test_http_error_paths_and_health(live_server):
+    server = live_server()
+    client = server.client(timeout=30.0)
+
+    health = client.health()
+    assert health["status"] == "ok"
+    assert health["wire_version"] == WIRE_VERSION
+    assert health["workers"] == 2
+    assert health["jobs"] == 0
+    assert health["cache"]["entries"] == 0
+
+    with pytest.raises(ServiceError, match="404"):
+        client.job_status("job-999")
+    with pytest.raises(ServiceError, match="404"):
+        list(client.events("job-999"))
+    with pytest.raises(ServiceError, match="unknown model"):
+        client._request("POST", "/jobs",
+                        {"workloads": ["vpr"], "models": ["quantum"]})
+    with pytest.raises(ServiceError, match="400"):
+        client._request("POST", "/jobs", {"workloads": ["vpr"]})
+
+
+def test_back_to_back_jobs_dedup_in_flight():
+    """Two identical jobs submitted before either runs: the second
+    attaches to every in-flight cell of the first — one simulation per
+    cell, both complete event streams."""
+    spec = JobSpec(workloads=WORKLOADS, models=MODELS, scale=SCALE)
+    service = SweepService(jobs=2)
+
+    async def drive():
+        first = service.submit(spec)
+        second = service.submit(spec)
+        events1 = [event async for event in first.stream()]
+        events2 = [event async for event in second.stream()]
+        return events1, events2
+
+    try:
+        events1, events2 = asyncio.run(drive())
+    finally:
+        service.shutdown()
+
+    done1, done2 = events1[-1], events2[-1]
+    assert done1["kind"] == done2["kind"] == "done"
+    assert done1["simulated"] == CELLS
+    assert done2["deduped"] == CELLS
+    assert done2["simulated"] == 0
+    assert service.counters["cells_simulated"] == CELLS
+    assert service.counters["cells_deduped"] == CELLS
+
+    # Attached cells carry the very same stats payloads.
+    def stats_by_cell(events):
+        return {(e["workload"], e["model"]): e["stats"]
+                for e in events if e["kind"] == "cell"}
+
+    assert stats_by_cell(events1) == stats_by_cell(events2)
+
+
+def test_failures_surface_with_retry_schema():
+    """A raising cell degrades to a failure row — exception class,
+    cell id, retry count — and the job still completes."""
+    service = SweepService(jobs=1, runner=_failing_runner)
+
+    async def drive():
+        job = service.submit(JobSpec(workloads=("vpr",), models=MODELS,
+                                     scale=SCALE))
+        return [event async for event in job.stream()]
+
+    try:
+        events = asyncio.run(drive())
+    finally:
+        service.shutdown()
+
+    cells = [e for e in events if e["kind"] == "cell"]
+    [failed] = [e for e in cells if e["status"] == "failed"]
+    assert (failed["workload"], failed["model"]) == ("vpr", "multipass")
+    assert failed["error"].startswith("ValueError: injected")
+    assert failed["attempts"] == 2, "failed cell must be retried once"
+    assert "stats" not in failed
+
+    [ok] = [e for e in cells if e["status"] == "ok"]
+    assert ok["model"] == "inorder"
+
+    done = events[-1]
+    assert done["failures"] == 1
+    assert (done["simulated"] + done["cache_hits"]
+            + done["deduped"]) == 2
+    assert service.counters["cells_failed"] == 1

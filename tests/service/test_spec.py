@@ -1,0 +1,143 @@
+"""JobSpec: the service's job language and its canonicalization.
+
+The contract under test: a spec is a *set* of cells (order and
+duplicates never matter), every malformed spec is rejected at
+submission time with a :class:`SpecError`, and ``job_key`` moves
+exactly when the underlying cell keys move — execution knobs like
+``timeout`` are excluded.
+"""
+
+import pytest
+
+from repro.harness.parallel import DEFAULT_MAX_INSTRUCTIONS
+from repro.service.spec import JobSpec, SpecError
+
+TD = "spec-test-digest"
+
+
+def _spec(**overrides):
+    base = dict(workloads=("vpr", "parser"),
+                models=("inorder", "multipass"), scale=0.05)
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+class TestCanonicalization:
+    def test_sorts_and_dedups_names(self):
+        spec = JobSpec(workloads=("parser", "vpr", "parser"),
+                       models=("multipass", "inorder", "multipass"))
+        assert spec.workloads == ("parser", "vpr")
+        assert spec.models == ("inorder", "multipass")
+
+    def test_order_and_duplicates_do_not_change_the_key(self):
+        a = _spec(workloads=("vpr", "parser"))
+        b = _spec(workloads=("parser", "vpr", "vpr", "parser"))
+        assert a.job_key(TD) == b.job_key(TD)
+
+    def test_timeout_is_an_execution_knob_not_identity(self):
+        assert _spec().job_key(TD) == _spec(timeout=5.0).job_key(TD)
+
+    def test_scale_and_overrides_change_the_key(self):
+        base = _spec().job_key(TD)
+        assert _spec(scale=0.1).job_key(TD) != base
+        assert _spec(machine={"fetch_width": 2}).job_key(TD) != base
+        assert _spec(compile={"reorder": False}).job_key(TD) != base
+        assert _spec(max_instructions=1000).job_key(TD) != base
+
+    def test_tree_digest_changes_the_key(self):
+        assert _spec().job_key(TD) != _spec().job_key("other-digest")
+
+    def test_cells_and_cell_keys_cover_the_grid(self):
+        spec = _spec()
+        grid = {(w, m) for w in spec.workloads for m in spec.models}
+        assert {(c.workload, c.model) for c in spec.cells()} == grid
+        keys = spec.cell_keys(TD)
+        assert set(keys) == grid
+        assert len(set(keys.values())) == len(grid)
+
+    def test_smoke_matches_the_sweep_smoke_grid(self):
+        spec = JobSpec.smoke()
+        assert spec.workloads == ("parser", "vpr")
+        assert spec.models == ("inorder", "multipass")
+        assert spec.scale == 0.05
+        assert spec.max_instructions == DEFAULT_MAX_INSTRUCTIONS
+
+
+class TestWireForm:
+    def test_round_trip(self):
+        spec = _spec(machine={"fetch_width": 2},
+                     compile={"reorder": False}, timeout=30.0)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_non_objects(self):
+        for doc in (None, [], "spec", 7):
+            with pytest.raises(SpecError):
+                JobSpec.from_dict(doc)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        doc = _spec().to_dict()
+        doc["parallel"] = 8
+        with pytest.raises(SpecError, match="parallel"):
+            JobSpec.from_dict(doc)
+
+    def test_from_dict_rejects_non_list_names(self):
+        doc = _spec().to_dict()
+        doc["workloads"] = "vpr"
+        with pytest.raises(SpecError, match="workloads"):
+            JobSpec.from_dict(doc)
+
+    def test_from_dict_rejects_non_dict_overrides(self):
+        doc = _spec().to_dict()
+        doc["machine"] = ["fetch_width"]
+        with pytest.raises(SpecError, match="machine"):
+            JobSpec.from_dict(doc)
+
+    def test_from_dict_rejects_unparseable_scalars(self):
+        doc = _spec().to_dict()
+        doc["scale"] = "fast"
+        with pytest.raises(SpecError, match="malformed"):
+            JobSpec.from_dict(doc)
+
+
+class TestValidation:
+    def test_rejects_empty_grids(self):
+        with pytest.raises(SpecError, match="workload"):
+            JobSpec(workloads=(), models=("inorder",))
+        with pytest.raises(SpecError, match="model"):
+            JobSpec(workloads=("vpr",), models=())
+
+    def test_rejects_unknown_names(self):
+        with pytest.raises(SpecError, match="unknown workload"):
+            _spec(workloads=("vpr", "doom"))
+        with pytest.raises(SpecError, match="unknown model"):
+            _spec(models=("inorder", "quantum"))
+
+    @pytest.mark.parametrize("field,value", [
+        ("scale", 0), ("scale", -1.0), ("scale", "big"),
+        ("max_instructions", 0), ("timeout", 0.0), ("timeout", -5.0),
+    ])
+    def test_rejects_non_positive_numbers(self, field, value):
+        with pytest.raises(SpecError):
+            _spec(**{field: value})
+
+    def test_rejects_unknown_override_fields(self):
+        with pytest.raises(SpecError, match="unknown machine field"):
+            _spec(machine={"warp_drive": 1})
+        with pytest.raises(SpecError, match="unknown compile field"):
+            _spec(compile={"warp_drive": 1})
+
+    def test_rejects_structured_override_targets(self):
+        # CompileOptions.ports takes a PortModel — not expressible as a
+        # flat JSON scalar, so the spec must refuse it loudly.
+        with pytest.raises(SpecError, match="not overridable"):
+            _spec(compile={"ports": 4})
+
+    def test_rejects_non_scalar_override_values(self):
+        with pytest.raises(SpecError, match="must be a scalar"):
+            _spec(machine={"fetch_width": [2]})
+
+    def test_override_expansion_applies(self):
+        spec = _spec(machine={"fetch_width": 2},
+                     compile={"reorder": False})
+        assert spec.machine_config().fetch_width == 2
+        assert spec.compile_options().reorder is False

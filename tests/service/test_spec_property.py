@@ -1,0 +1,90 @@
+"""Property suite pinning the job-canonicalization contract.
+
+The spec doc promises: ``job_key`` is insensitive to list order and
+multiplicity, and two specs collide **exactly** when their cell-key
+sets are equal.  Both directions matter — a missed collision breaks
+warm-resubmit dedup, a spurious one would serve wrong results.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip(
+    "hypothesis", reason="property tests need hypothesis")
+import hypothesis.strategies as st  # noqa: E402
+from hypothesis import given, settings  # noqa: E402
+
+from repro.harness.experiment import MODEL_FACTORIES  # noqa: E402
+from repro.service.spec import JobSpec  # noqa: E402
+from repro.workloads import ALL_WORKLOADS  # noqa: E402
+
+#: Fixed digest: keys must depend only on the spec under test, and
+#: hashing the live source tree in every example would be pure waste.
+TD = "property-test-digest"
+
+_WORKLOADS = sorted(ALL_WORKLOADS)
+_MODELS = sorted(MODEL_FACTORIES)
+_SCALES = (0.05, 0.1, 1.0)
+
+_spec_args = st.tuples(
+    st.lists(st.sampled_from(_WORKLOADS), min_size=1, max_size=4),
+    st.lists(st.sampled_from(_MODELS), min_size=1, max_size=3),
+    st.sampled_from(_SCALES),
+)
+
+
+def _build(args):
+    workloads, models, scale = args
+    return JobSpec(workloads=tuple(workloads), models=tuple(models),
+                   scale=scale)
+
+
+@settings(max_examples=60)
+@given(_spec_args, st.randoms(use_true_random=False))
+def test_order_and_multiplicity_insensitive(args, rng):
+    workloads, models, scale = args
+    reference = _build(args)
+    # A shuffled, duplicated rendering of the same name sets.
+    shuffled_w = list(workloads) + rng.sample(workloads,
+                                              k=min(2, len(workloads)))
+    shuffled_m = list(models) + rng.sample(models, k=1)
+    rng.shuffle(shuffled_w)
+    rng.shuffle(shuffled_m)
+    perturbed = JobSpec(workloads=tuple(shuffled_w),
+                        models=tuple(shuffled_m), scale=scale)
+    assert perturbed == reference
+    assert perturbed.job_key(TD) == reference.job_key(TD)
+    assert perturbed.cell_keys(TD) == reference.cell_keys(TD)
+
+
+@settings(max_examples=60)
+@given(_spec_args, _spec_args)
+def test_job_keys_collide_exactly_when_cell_key_sets_do(a_args, b_args):
+    a, b = _build(a_args), _build(b_args)
+    same_cells = (set(a.cell_keys(TD).values())
+                  == set(b.cell_keys(TD).values()))
+    assert (a.job_key(TD) == b.job_key(TD)) == same_cells
+
+
+@settings(max_examples=40)
+@given(_spec_args, st.floats(0.5, 300.0))
+def test_timeout_never_perturbs_identity(args, timeout):
+    workloads, models, scale = args
+    with_timeout = JobSpec(workloads=tuple(workloads),
+                           models=tuple(models), scale=scale,
+                           timeout=timeout)
+    assert with_timeout.job_key(TD) == _build(args).job_key(TD)
+
+
+@settings(max_examples=40)
+@given(_spec_args, st.sampled_from(["machine", "compile"]))
+def test_overrides_always_perturb_identity(args, kind):
+    base = _build(args)
+    if kind == "machine":
+        mutated = JobSpec(workloads=base.workloads, models=base.models,
+                          scale=base.scale,
+                          machine={"fetch_width": 2})
+    else:
+        mutated = JobSpec(workloads=base.workloads, models=base.models,
+                          scale=base.scale,
+                          compile={"reorder": False})
+    assert mutated.job_key(TD) != base.job_key(TD)
