@@ -145,11 +145,16 @@ fi
 rm -rf "$serve_dir"
 
 step "repro bench --smoke (perf gate: <=25% wall-clock regression)"
-# The baseline was re-recorded on the columnar kernels (PR 7): the
-# pre-columnar cells were up to 3.3x slower and would have let a
-# large regression in the new fast paths pass unnoticed.
+# The baseline was re-recorded on the columnar kernels (PR 9, which
+# extended the PR-7 columnar treatment to the multipass family): the
+# pre-columnar cells were several times slower and would have let a
+# large regression in the new fast paths pass unnoticed.  --against
+# gates the matrix total; --compare additionally gates each model's
+# cycles/second, so a multipass-specific slowdown fails the gate even
+# when the other cells absorb it in the total.
 python -m repro bench --smoke \
     --against benchmarks/bench_smoke_baseline.json --max-regression 0.25 \
+    --compare benchmarks/bench_smoke_baseline.json \
     || failures=$((failures + 1))
 
 step "repro trace / profile (telemetry round-trip)"

@@ -192,8 +192,9 @@ def _cmd_sweep(args) -> int:
 
 def _cmd_bench(args) -> int:
     from .harness.bench import (BENCH_MODELS, SMOKE_WORKLOADS,
-                                compare_bench, load_record, render_bench,
-                                run_bench, write_record)
+                                compare_bench, compare_speedups,
+                                load_record, render_bench, run_bench,
+                                write_record)
 
     workloads = args.workloads
     if workloads is None:
@@ -207,6 +208,7 @@ def _cmd_bench(args) -> int:
     if args.out:
         write_record(record, args.out)
         print(f"\nbench: record written to {args.out}")
+    status = 0
     if baseline is not None:
         findings = compare_bench(record, baseline,
                                  max_regression=args.max_regression)
@@ -215,10 +217,24 @@ def _cmd_bench(args) -> int:
                   f"{args.against}:", file=sys.stderr)
             for finding in findings:
                 print(f"  {finding}", file=sys.stderr)
-            return 1
-        print(f"\nbench: within {args.max_regression:.0%} of baseline "
-              f"{args.against}")
-    return 0
+            status = 1
+        else:
+            print(f"\nbench: within {args.max_regression:.0%} of "
+                  f"baseline {args.against}")
+    if args.compare:
+        reference = load_record(args.compare)
+        lines, regressions = compare_speedups(
+            record, reference, max_regression=args.max_regression)
+        print(f"\nbench: per-model speedup vs {args.compare}")
+        for line in lines:
+            print(f"  {line}")
+        if regressions:
+            print(f"\nbench: THROUGHPUT REGRESSION vs "
+                  f"{args.compare}:", file=sys.stderr)
+            for finding in regressions:
+                print(f"  {finding}", file=sys.stderr)
+            status = 1
+    return status
 
 
 def _cmd_cache(args) -> int:
@@ -650,6 +666,12 @@ def main(argv=None) -> int:
     bench.add_argument("--against", metavar="FILE", default=None,
                        help="compare against a recorded baseline and "
                             "fail on regression")
+    bench.add_argument("--compare", metavar="FILE", default=None,
+                       help="print per-model cycles/second speedup "
+                            "ratios vs a recorded baseline (may use a "
+                            "different workload matrix) and fail if any "
+                            "model's throughput regresses beyond "
+                            "--max-regression")
     bench.add_argument("--max-regression", type=float, default=0.25,
                        help="allowed fractional wall-clock regression "
                             "vs --against (default 0.25)")

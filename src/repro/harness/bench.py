@@ -151,6 +151,53 @@ def compare_bench(current: dict, baseline: dict,
     return findings
 
 
+def compare_speedups(current: dict, baseline: dict,
+                     max_regression: float = 0.25):
+    """Per-model throughput ratios of ``current`` against ``baseline``.
+
+    Returns ``(lines, regressions)``: one rendered line per model with
+    its cycles/second speedup ratio, and one finding per model whose
+    throughput fell below ``1 - max_regression`` of the baseline.
+    Ratios are throughput-based (cycles/second, not wall seconds), so a
+    record can be compared against a baseline taken over a different
+    workload matrix — e.g. the smoke matrix against a full-matrix
+    ``BENCH_PR<n>.json``.
+    """
+    lines: List[str] = []
+    regressions: List[str] = []
+    if current.get("workloads") != baseline.get("workloads"):
+        lines.append(
+            f"note: workload matrices differ "
+            f"({len(current.get('workloads', []))} vs "
+            f"{len(baseline.get('workloads', []))} workloads); "
+            f"comparing cycles/second throughput")
+    base_models = baseline.get("per_model", {})
+    floor = 1.0 - max_regression
+    for model in current.get("models", []):
+        cur = current.get("per_model", {}).get(model, {})
+        base = base_models.get(model, {})
+        cur_cps = cur.get("cycles_per_second")
+        base_cps = base.get("cycles_per_second")
+        if not cur_cps or not base_cps:
+            lines.append(f"{model:>15}: no baseline entry")
+            continue
+        ratio = cur_cps / base_cps
+        lines.append(
+            f"{model:>15}: {base_cps:>10} -> {cur_cps:>10} cyc/s "
+            f"({ratio:.2f}x)")
+        if ratio < floor:
+            regressions.append(
+                f"{model}: throughput fell to {ratio:.2f}x of baseline "
+                f"({base_cps} -> {cur_cps} cyc/s; floor {floor:.2f}x)")
+    base_total = baseline.get("total", {}).get("cycles_per_second")
+    cur_total = current.get("total", {}).get("cycles_per_second")
+    if base_total and cur_total:
+        lines.append(
+            f"{'total':>15}: {base_total:>10} -> {cur_total:>10} cyc/s "
+            f"({cur_total / base_total:.2f}x)")
+    return lines, regressions
+
+
 def render_bench(record: dict, baseline: Optional[dict] = None) -> str:
     """Human-readable table for one benchmark record."""
     lines = [
@@ -196,5 +243,5 @@ def write_record(record: dict, path) -> None:
 
 
 __all__ = ("BENCH_MODELS", "BENCH_SCHEMA", "SMOKE_WORKLOADS",
-           "compare_bench", "git_sha", "load_record", "render_bench",
-           "run_bench", "write_record")
+           "compare_bench", "compare_speedups", "git_sha", "load_record",
+           "render_bench", "run_bench", "write_record")

@@ -39,7 +39,7 @@ walk is pinned by ``tests/isa/test_columns.py``.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..resources import PORT_CODE
 from .opcodes import FUClass
@@ -172,7 +172,7 @@ class TraceColumns:
     """Shared flat columns + lazily built dependence graphs."""
 
     __slots__ = ("n", "port_code", "queue_code", "_dec", "_graphs",
-                 "_fetch_lines")
+                 "_fetch_lines", "_fetch_runs", "_mp_kind")
 
     def __init__(self, dec: "DecodedTrace"):
         self.n = dec.n
@@ -183,6 +183,8 @@ class TraceColumns:
         self._dec = dec
         self._graphs: Dict[bool, DependenceGraph] = {}
         self._fetch_lines: Dict[Tuple[int, int], List[int]] = {}
+        self._fetch_runs: Dict[Tuple[int, int], List[int]] = {}
+        self._mp_kind: Optional[List[int]] = None
 
     def dependences(self, merged_dests: bool = False) -> DependenceGraph:
         """The static dependence graph for one rename discipline."""
@@ -205,6 +207,57 @@ class TraceColumns:
             lines = [pc * inst_bytes // line_size for pc in self._dec.pc]
             self._fetch_lines[key] = lines
         return lines
+
+    def fetch_runs(self, inst_bytes: int, line_size: int) -> List[int]:
+        """Per-seq same-line run ends over :meth:`fetch_lines`.
+
+        ``runs[i]`` is the first seq past ``i`` whose cache line
+        differs, so a front end whose current line is already hot can
+        advance to the run end in one step instead of per-seq.
+        """
+        key = (inst_bytes, line_size)
+        runs = self._fetch_runs.get(key)
+        if runs is None:
+            lines = self.fetch_lines(inst_bytes, line_size)
+            n = self.n
+            runs = [n] * n
+            for i in range(n - 2, -1, -1):
+                if lines[i] != lines[i + 1]:
+                    runs[i] = i + 1
+                else:
+                    runs[i] = runs[i + 1]
+            self._fetch_runs[key] = runs
+        return runs
+
+    def multipass_kind(self) -> List[int]:
+        """Advance-dispatch class per seq for the multipass kernel.
+
+        ``0`` = executed ALU/FP/other, ``1`` = predicate-nullified,
+        ``2`` = executed branch, ``3`` = executed store, ``4`` =
+        executed load — one subscript in place of the
+        executed/branch/store/load flag cascade of the advance execute
+        dispatch (the flags are trace-static, so the cascade's outcome
+        is too).
+        """
+        kind = self._mp_kind
+        if kind is None:
+            dec = self._dec
+            executed = dec.executed
+            is_branch = dec.is_branch
+            is_store = dec.is_store
+            is_load = dec.is_load
+            kind = [0] * self.n
+            for seq in range(self.n):
+                if not executed[seq]:
+                    kind[seq] = 1
+                elif is_branch[seq]:
+                    kind[seq] = 2
+                elif is_store[seq]:
+                    kind[seq] = 3
+                elif is_load[seq]:
+                    kind[seq] = 4
+            self._mp_kind = kind
+        return kind
 
 
 def columns_of(dec: "DecodedTrace") -> TraceColumns:

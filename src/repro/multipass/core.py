@@ -46,6 +46,7 @@ from ..pipeline.base import BaseCore
 from ..pipeline.stats import SimStats, StallCategory
 from .asc import (HIT, HIT_INVALID, INVALID, MISS_SPECULATIVE,
                   AdvanceStoreCache)
+from .columnar import run_columnar
 from .result_store import ResultStore, RSEntry
 
 #: "No internal event": a fast-forward hint meaning the issue logic found
@@ -102,6 +103,11 @@ class MultipassCore(BaseCore):
         #: default to keep the simulation loop lean.
         self.record_modes = record_modes
         self.mode_log = []
+        #: Runahead's checkpoint-restore penalty on rally entry (paper
+        #: Section 3.1.3): a column-level flag rather than a subclass
+        #: hook so the columnar kernel inherits it the same way it
+        #: inherits persistence/restart/regrouping.
+        self.rally_exit_refill = False
 
         self.rs = ResultStore(config.multipass_queue_size, checked=check)
         self.asc = AdvanceStoreCache(config.asc_entries, config.asc_assoc)
@@ -237,11 +243,17 @@ class MultipassCore(BaseCore):
 
         Multipass resumes instantly: the latched architectural-stream
         instructions are unlatched and displace the advance instructions
-        in their stages (Section 3.1.3).  Runahead overrides this with a
-        checkpoint-restore penalty.
+        in their stages (Section 3.1.3).  Runahead instead pays a
+        checkpoint-restore refill (``rally_exit_refill``): it restores
+        the checkpointed state and refetches from the stalled
+        instruction.
         """
         self.mode = Mode.RALLY
         self._reset_pass_state()
+        if self.rally_exit_refill:
+            self.arch_stall_until = max(
+                self.arch_stall_until, now + self.config.mispredict_penalty)
+            self.stats.counters["runahead_exit_refills"] += 1
 
     # ------------------------------------------------------------------
     # advance-mode operand resolution
@@ -703,6 +715,19 @@ class MultipassCore(BaseCore):
     # ------------------------------------------------------------------
 
     def run(self, max_cycles: int = 500_000_000) -> SimStats:
+        # The columnar kernel requires that nothing observes individual
+        # cycles: tracing emits a per-cycle mode event and record_modes
+        # logs one, so both (and --slow) route to the scalar reference
+        # loop below (stats are bit-identical either way — the
+        # differential suite pins it).  An instance-level override of
+        # the advance-issue hook (how tests instrument the per-cycle
+        # advance stream) is likewise a per-cycle observer.
+        if (self.slow or self.tracer.enabled or self.record_modes
+                or "_issue_advance_cycle" in self.__dict__):
+            return self._run_scalar(max_cycles)
+        return run_columnar(self, max_cycles)
+
+    def _run_scalar(self, max_cycles: int = 500_000_000) -> SimStats:
         entries = self.trace.entries
         n = len(entries)
         frontend = self.frontend

@@ -39,16 +39,12 @@ class RunaheadCore(MultipassCore):
         super().__init__(trace, config, enable_regroup=False,
                          enable_restart=False, persist_results=False,
                          check=check, tracer=tracer, slow=slow)
-
-    def _enter_rally(self, now: int) -> None:
-        """Exiting runahead restores the checkpointed state and refetches
-        from the stalled instruction — a pipeline-refill penalty the
-        multipass design avoids by latching the architectural stream in
-        place (paper Section 3.1.3)."""
-        super()._enter_rally(now)
-        self.arch_stall_until = max(self.arch_stall_until,
-                                    now + self.config.mispredict_penalty)
-        self.stats.counters["runahead_exit_refills"] += 1
+        # Exiting runahead restores the checkpointed state and refetches
+        # from the stalled instruction — a pipeline-refill penalty the
+        # multipass design avoids by latching the architectural stream
+        # in place (paper Section 3.1.3).  A column-level flag, so the
+        # columnar kernel inherits it like the other model toggles.
+        self.rally_exit_refill = True
 
 
 def simulate_runahead(trace: Trace,

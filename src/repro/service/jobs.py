@@ -37,8 +37,8 @@ from concurrent.futures import ProcessPoolExecutor, process
 from typing import AsyncIterator, Callable, Dict, List, Optional, Union
 
 from ..harness.parallel import (CellResult, CellSpec, _execute_cell,
-                                _pool_context, resolve_jobs,
-                                simulate_cell)
+                                _execute_group, _pool_context,
+                                resolve_jobs, simulate_cell)
 from ..harness.results_cache import (CACHE_ENV_VAR, ResultsCache,
                                      parse_size)
 from .protocol import WIRE_VERSION, cell_event
@@ -173,23 +173,30 @@ class SweepService:
             "workers": self.workers,
             "wire_version": WIRE_VERSION,
         })
+        # Group the job's cells by workload: one fleet task per group,
+        # so every model of a workload runs on the same worker and
+        # shares one trace build + decode (mirroring the batch engine's
+        # grouped dispatch).
+        groups: Dict[str, List[CellSpec]] = {}
+        for cell in cells:
+            groups.setdefault(cell.workload, []).append(cell)
         tasks = [
-            asyncio.ensure_future(self._resolve_cell(
-                keys[(cell.workload, cell.model)], cell, spec.timeout))
-            for cell in cells
+            asyncio.ensure_future(self._resolve_group(
+                group, keys, spec.timeout))
+            for group in groups.values()
         ]
         for future in asyncio.as_completed(tasks):
-            result, source, dedup = await future
-            if dedup:
-                job.deduped += 1
-            elif source == "cache":
-                job.cache_hits += 1
-            else:
-                job.simulated += 1
-            if not result.ok:
-                job.failures += 1
-            await job.append(cell_event(result, source=source,
-                                        dedup=dedup))
+            for result, source, dedup in await future:
+                if dedup:
+                    job.deduped += 1
+                elif source == "cache":
+                    job.cache_hits += 1
+                else:
+                    job.simulated += 1
+                if not result.ok:
+                    job.failures += 1
+                await job.append(cell_event(result, source=source,
+                                            dedup=dedup))
         await job.append({
             "kind": "done",
             "id": job.id,
@@ -203,30 +210,9 @@ class SweepService:
 
     # -- cell resolution ------------------------------------------------
 
-    async def _resolve_cell(self, key: str, spec: CellSpec,
-                            timeout: Optional[float]):
-        """One cell through the dedup -> cache -> fleet layers.
-
-        Returns ``(CellResult, source, dedup)``.  Never raises: faults
-        become failure rows, exactly like the batch engine.
-        """
-        self.counters["cells_requested"] += 1
-        pending = self._inflight.get(key)
-        if pending is not None:
-            # Another job is already resolving this exact cell: attach.
-            self.counters["cells_deduped"] += 1
-            result, source = await asyncio.shield(pending)
-            return result, source, True
-        future = asyncio.get_running_loop().create_future()
-        self._inflight[key] = future
-        try:
-            result, source = await self._execute(key, spec, timeout)
-        except Exception as exc:  # pragma: no cover - defensive
-            result = CellResult(spec.workload, spec.model,
-                                error=f"{type(exc).__name__}: {exc}")
-            source = "simulated"
-        finally:
-            self._inflight.pop(key, None)
+    def _settle(self, key: str, result: CellResult, source: str) -> None:
+        """Account for a resolved cell and fan it out to subscribers."""
+        future = self._inflight.pop(key, None)
         if result.ok:
             if source == "cache":
                 self.counters["cells_cached"] += 1
@@ -234,30 +220,96 @@ class SweepService:
                 self.counters["cells_simulated"] += 1
         else:
             self.counters["cells_failed"] += 1
-        future.set_result((result, source))
-        return result, source, False
+        if future is not None and not future.done():
+            future.set_result((result, source))
 
-    async def _execute(self, key: str, spec: CellSpec,
-                       timeout: Optional[float]):
+    async def _resolve_group(self, cells: List[CellSpec], keys: Dict,
+                             timeout: Optional[float]):
+        """One workload group through the dedup -> cache -> fleet layers.
+
+        Returns one ``(CellResult, source, dedup)`` per cell, in cell
+        order.  The cells that actually need simulation are dispatched
+        to the fleet as a single batch, so one worker resolves the whole
+        group over a shared trace build + decode.  Never raises: faults
+        become failure rows, exactly like the batch engine.
+        """
         loop = asyncio.get_running_loop()
-        # Cache probes are tiny pickle reads, but they still leave the
-        # loop so a slow/networked filesystem cannot stall the server.
-        stats = await loop.run_in_executor(None, self.store.get, key)
-        if stats is not None:
-            return CellResult(spec.workload, spec.model, stats=stats,
-                              cached=True), "cache"
-        timeout = timeout if timeout is not None else self.timeout
-        result = CellResult(spec.workload, spec.model,
-                            error="cell was never attempted")
-        for attempt in range(1, self.retries + 2):
-            result = await self._run_on_fleet(spec, timeout)
-            result.attempts = attempt
-            if result.ok:
-                break
-        if result.ok:
-            await loop.run_in_executor(None, self.store.put, key,
-                                       result.stats)
-        return result, "simulated"
+        outcomes: Dict[int, tuple] = {}
+        attached: Dict[int, asyncio.Future] = {}
+        fresh: List[tuple] = []
+        for index, cell in enumerate(cells):
+            key = keys[(cell.workload, cell.model)]
+            self.counters["cells_requested"] += 1
+            pending = self._inflight.get(key)
+            if pending is not None:
+                # Another job is already resolving this cell: attach.
+                self.counters["cells_deduped"] += 1
+                attached[index] = pending
+                continue
+            self._inflight[key] = loop.create_future()
+            fresh.append((index, key, cell))
+        try:
+            to_run: List[tuple] = []
+            for index, key, cell in fresh:
+                # Cache probes are tiny pickle reads, but they still
+                # leave the loop so a slow/networked filesystem cannot
+                # stall the server.
+                stats = await loop.run_in_executor(None, self.store.get,
+                                                   key)
+                if stats is not None:
+                    result = CellResult(cell.workload, cell.model,
+                                        stats=stats, cached=True)
+                    self._settle(key, result, "cache")
+                    outcomes[index] = (result, "cache", False)
+                else:
+                    to_run.append((index, key, cell))
+            if to_run:
+                cell_timeout = (timeout if timeout is not None
+                                else self.timeout)
+                batch = await self._run_group_on_fleet(
+                    [cell for _, _, cell in to_run], cell_timeout)
+                for (index, key, cell), result in zip(to_run, batch):
+                    for attempt in range(2, self.retries + 2):
+                        if result.ok:
+                            break
+                        result = await self._run_on_fleet(cell,
+                                                          cell_timeout)
+                        result.attempts = attempt
+                    if result.ok:
+                        await loop.run_in_executor(None, self.store.put,
+                                                   key, result.stats)
+                    self._settle(key, result, "simulated")
+                    outcomes[index] = (result, "simulated", False)
+        except Exception as exc:  # pragma: no cover - defensive
+            for index, key, cell in fresh:
+                if index not in outcomes:
+                    result = CellResult(
+                        cell.workload, cell.model,
+                        error=f"{type(exc).__name__}: {exc}")
+                    self._settle(key, result, "simulated")
+                    outcomes[index] = (result, "simulated", False)
+        for index, pending in attached.items():
+            result, source = await asyncio.shield(pending)
+            outcomes[index] = (result, source, True)
+        return [outcomes[index] for index in range(len(cells))]
+
+    async def _run_group_on_fleet(self, specs: List[CellSpec],
+                                  timeout: Optional[float]
+                                  ) -> List[CellResult]:
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(
+                self._ensure_pool(), _execute_group, specs, self.runner,
+                timeout)
+        except process.BrokenProcessPool:
+            self._shutdown_pool(wait=False)
+            return [CellResult(spec.workload, spec.model,
+                               error="worker process died (broken pool)")
+                    for spec in specs]
+        except Exception as exc:  # pragma: no cover - defensive
+            return [CellResult(spec.workload, spec.model,
+                               error=f"{type(exc).__name__}: {exc}")
+                    for spec in specs]
 
     async def _run_on_fleet(self, spec: CellSpec,
                             timeout: Optional[float]) -> CellResult:

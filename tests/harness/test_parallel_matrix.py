@@ -84,3 +84,64 @@ def test_corrupt_cache_entry_degrades_to_miss(tmp_path):
     assert reread.stats.hits == len(MODELS) - 1
     assert matrix.results == run_matrix(MODELS, ("vpr",),
                                         scale=SCALE).results
+
+
+def test_serial_sweep_decodes_once_per_workload_cell(monkeypatch):
+    """jobs=1 path: every model of a (workload, scale) cell reuses one
+    decoded trace — the decode-build log records exactly one build per
+    cell, not one per model."""
+    from repro.harness import parallel
+
+    monkeypatch.setattr(parallel, "_WORKER_TRACES", {})
+    monkeypatch.setattr(parallel, "_DECODE_BUILDS", {})
+    report = sweep(MODELS, WORKLOADS, scale=SCALE, jobs=1)
+    assert report.ok
+    assert parallel._DECODE_BUILDS == {
+        (workload, SCALE): 1 for workload in WORKLOADS
+    }
+
+
+def test_pool_sweep_decodes_once_per_workload_cell(tmp_path, monkeypatch):
+    """Pool path: grouped dispatch lands every model of a workload on
+    the same worker, so across the whole fleet each (workload, scale)
+    is decoded exactly once."""
+    import multiprocessing
+    import os
+
+    import pytest
+
+    from repro.harness import parallel
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("decode log instrumentation needs fork inheritance")
+
+    log = tmp_path / "decodes.log"
+    original = parallel._worker_trace
+
+    def logged(spec):
+        cell = (spec.workload, spec.scale)
+        before = parallel._DECODE_BUILDS.get(cell, 0)
+        trace = original(spec)
+        built = parallel._DECODE_BUILDS.get(cell, 0) - before
+        with open(log, "a") as fh:
+            fh.write(f"{os.getpid()} {spec.workload} {built}\n")
+        return trace
+
+    # Fork inherits the patched module state and the cleared caches, so
+    # worker-side builds start from a clean slate and hit the wrapper.
+    monkeypatch.setattr(parallel, "_WORKER_TRACES", {})
+    monkeypatch.setattr(parallel, "_DECODE_BUILDS", {})
+    monkeypatch.setattr(parallel, "_worker_trace", logged)
+
+    report = sweep(MODELS, WORKLOADS, scale=SCALE, jobs=2)
+    assert report.ok
+
+    builds = {workload: 0 for workload in WORKLOADS}
+    pids = {workload: set() for workload in WORKLOADS}
+    for line in log.read_text().splitlines():
+        pid, workload, built = line.split()
+        builds[workload] += int(built)
+        pids[workload].add(pid)
+    for workload in WORKLOADS:
+        assert builds[workload] == 1, (workload, builds)
+        assert len(pids[workload]) == 1, (workload, pids)

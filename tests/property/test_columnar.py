@@ -23,15 +23,23 @@ from repro.analysis.bounds import cycle_lower_bound
 from repro.compiler import compile_program
 from repro.harness import (ABLATION_FACTORIES, MODEL_FACTORIES,
                            make_model, run_model)
-from repro.isa import execute
+from repro.isa import ProgramBuilder, R, execute
 
 from .test_random_programs import materialize, programs
 
 #: Every registered model variant (primary + ablations) — 9 as of PR 7.
 ALL_MODELS = sorted({**MODEL_FACTORIES, **ABLATION_FACTORIES})
 
-#: The models whose fast path is the columnar event-driven kernel.
-COLUMNAR_MODELS = ("ooo", "ooo-realistic")
+#: The models whose fast path is a columnar event-driven kernel: the
+#: OOO pair (PR 7) and the multipass family (PR 9).
+COLUMNAR_MODELS = ("ooo", "ooo-realistic", "multipass", "runahead",
+                   "twopass", "multipass-norestart",
+                   "multipass-noregroup", "multipass-hwrestart")
+
+#: The multipass-family subset (advance/rally passes, SRF/ASC state).
+MULTIPASS_MODELS = ("multipass", "runahead", "twopass",
+                    "multipass-norestart", "multipass-noregroup",
+                    "multipass-hwrestart")
 
 
 class RetireRecorder:
@@ -127,15 +135,79 @@ def test_columnar_routing():
     from repro.telemetry import TelemetrySink, Tracer
     spec = ([("add", *_regs(3))], 2, False)
     trace = execute(compile_program(materialize(spec).build()))
-    fast = make_model("ooo", trace)
-    assert not fast.slow
-    slow = make_model("ooo", trace, slow=True)
-    assert slow.slow
-    traced = make_model("ooo", trace, tracer=Tracer(TelemetrySink()))
-    assert traced.tracer.enabled
-    # All three agree on the stats regardless of the loop that ran.
-    a, b, c = fast.run(), slow.run(), traced.run()
-    assert _comparable(a) == _comparable(b) == _comparable(c)
+    for model in ("ooo", "multipass", "runahead", "twopass"):
+        fast = make_model(model, trace)
+        assert not fast.slow
+        slow = make_model(model, trace, slow=True)
+        assert slow.slow
+        traced = make_model(model, trace, tracer=Tracer(TelemetrySink()))
+        assert traced.tracer.enabled
+        # All three agree on the stats regardless of the loop that ran.
+        a, b, c = fast.run(), slow.run(), traced.run()
+        assert _comparable(a) == _comparable(b) == _comparable(c), model
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(programs)
+def test_multipass_family_retired_streams_identical(spec):
+    """Dedicated multipass-family differential: the columnar advance/
+    rally kernel retires the same seqs in the same order as the scalar
+    reference, on every family variant, with and without RESTART
+    directives in the generated program."""
+    compiled = compile_program(materialize(spec).build())
+    trace = execute(compiled)
+    n = len(trace)
+    for model in MULTIPASS_MODELS:
+        fast_stats, fast_seqs = _run_recorded(model, trace, slow=False)
+        slow_stats, slow_seqs = _run_recorded(model, trace, slow=True)
+        assert fast_seqs == slow_seqs, model
+        assert sorted(fast_seqs) == list(range(n)), model
+        assert _comparable(fast_stats) == _comparable(slow_stats), model
+
+
+def _idle_skip_program(padding: int):
+    """A cold-miss load, ``padding`` independent ALU ops, a dependent
+    consumer: the consumer stalls architecturally on the miss, the
+    advance pass drains, and the machine goes idle until the fill."""
+    b = ProgramBuilder(f"idle-skip-{padding}")
+    for i in range(2, 8):
+        b.movi(R(i), i)
+    b.movi(R(12), 0x1000)
+    b.ld(R(1), R(12), 0)
+    for i in range(padding):
+        r = R(2 + (i % 6))
+        b.addi(r, r, 1)
+    b.add(R(8), R(1), R(1))
+    b.halt()
+    return b.build()
+
+
+def test_pass_restart_lands_on_first_skipped_cycle():
+    """Idle-skip boundary sweep for the multipass kernel.
+
+    While the architectural stream is blocked on a cold memory miss the
+    kernel fast-forwards idle cycles to the next event.  The pass
+    restart (the trigger-load fill that re-enters rally — and, on the
+    hardware-restart ablation, the wheel/heap pready rendezvous) must
+    never be jumped over.  Sweeping the padding length slides the stall
+    entry cycle one step per iteration relative to the fixed fill time,
+    so some alignment in the sweep places the restart event exactly on
+    the first skipped cycle; fast and slow must agree at every
+    alignment, including that one.
+    """
+    for padding in range(0, 40):
+        trace = execute(compile_program(_idle_skip_program(padding)))
+        n = len(trace)
+        for model in ("multipass", "runahead", "multipass-hwrestart"):
+            fast_stats, fast_seqs = _run_recorded(model, trace,
+                                                  slow=False)
+            slow_stats, slow_seqs = _run_recorded(model, trace,
+                                                  slow=True)
+            assert fast_seqs == slow_seqs, (model, padding)
+            assert sorted(fast_seqs) == list(range(n)), (model, padding)
+            assert _comparable(fast_stats) == _comparable(slow_stats), (
+                model, padding)
 
 
 def _regs(k):
