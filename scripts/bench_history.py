@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Render the PR-to-PR simulator throughput trajectory.
+
+Every perf PR commits a full-matrix benchmark record as
+``BENCH_PR<n>.json`` at the repository root (written by
+``scripts/run_bench.py``).  This script merges them into one per-model
+cycles/second trajectory table — one column per recorded PR, one row
+per model plus the matrix total — and writes it into ``EXPERIMENTS.md``
+between the ``bench-history`` markers so the document always reflects
+the committed records.
+
+Each cell shows the recorded throughput and, from the second PR on,
+the ratio against the previous *recorded* PR.  Wall-clock numbers are
+machine-dependent (see the calibration notes inside the records), so
+the table is a trajectory of committed measurements, not a claim that
+every ratio was taken on the same machine in the same sitting; records
+carrying a ``calibration`` key are footnoted.
+
+Usage:
+    python scripts/bench_history.py           # rewrite EXPERIMENTS.md
+    python scripts/bench_history.py --check   # exit 1 if out of date
+    python scripts/bench_history.py --stdout  # print table only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXPERIMENTS = REPO_ROOT / "EXPERIMENTS.md"
+
+BEGIN_MARK = "<!-- bench-history:begin (scripts/bench_history.py) -->"
+END_MARK = "<!-- bench-history:end -->"
+
+#: Row order: the five primary models, then the matrix total.
+ROW_ORDER = ("inorder", "multipass", "runahead", "ooo", "ooo-realistic",
+             "total")
+
+
+def load_history(root: Path = REPO_ROOT) -> List[Tuple[int, dict]]:
+    """All ``BENCH_PR<n>.json`` records at ``root``, ascending by PR."""
+    history = []
+    for path in root.glob("BENCH_PR*.json"):
+        match = re.fullmatch(r"BENCH_PR(\d+)\.json", path.name)
+        if not match:
+            continue
+        with open(path) as handle:
+            history.append((int(match.group(1)), json.load(handle)))
+    history.sort(key=lambda pair: pair[0])
+    return history
+
+
+def throughputs(record: dict) -> Dict[str, int]:
+    """Per-model (plus ``total``) cycles/second of one record."""
+    cps = {model: entry.get("cycles_per_second")
+           for model, entry in record.get("per_model", {}).items()}
+    cps["total"] = record.get("total", {}).get("cycles_per_second")
+    return cps
+
+
+def _fmt(cps) -> str:
+    return f"{cps / 1000:.0f}k" if cps else "—"
+
+
+def render_table(history: List[Tuple[int, dict]]) -> str:
+    """Markdown trajectory table over the given records."""
+    if not history:
+        return "*(no BENCH_PR<n>.json records found)*"
+    columns = [(pr, throughputs(record)) for pr, record in history]
+    lines = ["| model (cyc/s) | " +
+             " | ".join(f"PR {pr}" for pr, _ in columns) + " |",
+             "|---|" + "---|" * len(columns)]
+    for model in ROW_ORDER:
+        cells = []
+        prev = None
+        for _, cps in columns:
+            cur = cps.get(model)
+            cell = _fmt(cur)
+            if cur and prev:
+                cell += f" ({cur / prev:.2f}x)"
+            cells.append(cell)
+            if cur:
+                prev = cur
+        label = "**total**" if model == "total" else model
+        lines.append(f"| {label} | " + " | ".join(cells) + " |")
+    notes = [f"PR {pr}" for pr, record in history if "calibration" in record]
+    if notes:
+        lines.append("")
+        lines.append(
+            f"Ratios compare committed records; {', '.join(notes)} "
+            f"carr{'y' if len(notes) > 1 else 'ies'} a ``calibration`` "
+            f"key with same-sitting reruns where the committed baseline "
+            f"was recorded in a different machine speed window.")
+    return "\n".join(lines)
+
+
+def update_experiments(table: str, check: bool = False) -> int:
+    """Splice ``table`` between the markers in EXPERIMENTS.md."""
+    text = EXPERIMENTS.read_text()
+    if BEGIN_MARK not in text or END_MARK not in text:
+        print(f"error: {BEGIN_MARK} / {END_MARK} markers not found in "
+              f"{EXPERIMENTS}", file=sys.stderr)
+        return 2
+    head, rest = text.split(BEGIN_MARK, 1)
+    _, tail = rest.split(END_MARK, 1)
+    updated = f"{head}{BEGIN_MARK}\n{table}\n{END_MARK}{tail}"
+    if updated == text:
+        return 0
+    if check:
+        print("bench history table in EXPERIMENTS.md is out of date; "
+              "run: python scripts/bench_history.py", file=sys.stderr)
+        return 1
+    EXPERIMENTS.write_text(updated)
+    print(f"updated {EXPERIMENTS.relative_to(REPO_ROOT)}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if EXPERIMENTS.md is out of date "
+                             "instead of rewriting it")
+    parser.add_argument("--stdout", action="store_true",
+                        help="print the table without touching "
+                             "EXPERIMENTS.md")
+    args = parser.parse_args(argv)
+    table = render_table(load_history())
+    if args.stdout:
+        print(table)
+        return 0
+    return update_experiments(table, check=args.check)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -145,13 +145,17 @@ fi
 rm -rf "$serve_dir"
 
 step "repro bench --smoke (perf gate: <=25% wall-clock regression)"
-# The baseline was re-recorded on the columnar kernels (PR 9, which
-# extended the PR-7 columnar treatment to the multipass family): the
-# pre-columnar cells were several times slower and would have let a
-# large regression in the new fast paths pass unnoticed.  --against
-# gates the matrix total; --compare additionally gates each model's
-# cycles/second, so a multipass-specific slowdown fails the gate even
-# when the other cells absorb it in the total.
+# The baseline was re-recorded on the gen-2 OOO kernel (PR 10, the
+# consumer-driven spend-accumulator wakeup; PR 9 before it put the
+# multipass family on columnar kernels): gating against a slower
+# era's cells would let a large regression in the current fast paths
+# pass unnoticed.  --against gates the matrix total; --compare
+# additionally gates each model's cycles/second, so a model-specific
+# slowdown fails the gate even when the other cells absorb it in the
+# total.  The host's frequency scaling swings ~40% between sittings
+# (see the calibration keys in BENCH_PR9/PR10.json); a gate failure
+# with every model uniformly slow is the machine, not the change —
+# re-run before believing it.
 python -m repro bench --smoke \
     --against benchmarks/bench_smoke_baseline.json --max-regression 0.25 \
     --compare benchmarks/bench_smoke_baseline.json \

@@ -193,14 +193,19 @@ def _cmd_sweep(args) -> int:
 def _cmd_bench(args) -> int:
     from .harness.bench import (BENCH_MODELS, SMOKE_WORKLOADS,
                                 compare_bench, compare_speedups,
-                                load_record, render_bench, run_bench,
-                                write_record)
+                                load_record, profile_bench, render_bench,
+                                render_profile, run_bench, write_record)
 
     workloads = args.workloads
     if workloads is None:
         workloads = (list(SMOKE_WORKLOADS) if not args.full
                      else list(ALL_WORKLOADS))
     models = args.models or list(BENCH_MODELS)
+    if args.profile:
+        cells = profile_bench(models, workloads, scale=args.scale,
+                              top=args.top)
+        print(render_profile(cells))
+        return 0
     record = run_bench(models, workloads, scale=args.scale,
                        repeats=args.repeats, slow=args.slow)
     baseline = load_record(args.against) if args.against else None
@@ -675,6 +680,14 @@ def main(argv=None) -> int:
     bench.add_argument("--max-regression", type=float, default=0.25,
                        help="allowed fractional wall-clock regression "
                             "vs --against (default 0.25)")
+    bench.add_argument("--profile", action="store_true",
+                       help="cProfile each (model, workload) cell and "
+                            "print its hotspot table instead of timing "
+                            "(profiled seconds are not comparable with "
+                            "bench records)")
+    bench.add_argument("--top", type=int, default=10,
+                       help="hotspot rows per cell with --profile "
+                            "(default 10)")
     bench.set_defaults(fn=_cmd_bench)
 
     serve = sub.add_parser("serve")

@@ -231,6 +231,67 @@ def render_bench(record: dict, baseline: Optional[dict] = None) -> str:
     return "\n".join(lines)
 
 
+def profile_bench(models: Sequence[str] = BENCH_MODELS,
+                  workloads: Sequence[str] = SMOKE_WORKLOADS,
+                  scale: float = 0.1, top: int = 10) -> List[dict]:
+    """cProfile every (model, workload) cell of the benchmark matrix.
+
+    Returns one record per cell: the model, the workload, the cell's
+    profiled wall seconds, and the ``top`` hottest functions by
+    cumulative time as ``(cumtime, tottime, ncalls, where)`` rows.
+    Traces and decode caches are prebuilt so the profile sees only the
+    timing loop — the same boundary ``run_bench`` times.  Profiled runs
+    carry interpreter tracing overhead, so the absolute seconds are not
+    comparable with ``run_bench`` records; the *shape* (which frames
+    dominate) is the product.
+    """
+    import cProfile
+    import pstats
+
+    cache = TraceCache(scale)
+    traces = {w: cache.trace(w) for w in workloads}
+    for trace in traces.values():
+        trace.decoded
+    cells: List[dict] = []
+    for model in models:
+        for workload in workloads:
+            core = make_model(model, traces[workload])
+            profile = cProfile.Profile()
+            profile.enable()
+            core.run()
+            profile.disable()
+            stats = pstats.Stats(profile)
+            stats.sort_stats("cumulative")
+            rows = []
+            for func in stats.fcn_list[:top]:          # sorted order
+                cc, nc, tt, ct, _ = stats.stats[func]
+                path, lineno, name = func
+                where = (f"{Path(path).name}:{lineno}({name})"
+                         if lineno else name)
+                rows.append((round(ct, 4), round(tt, 4), nc, where))
+            cells.append({
+                "model": model,
+                "workload": workload,
+                "wall_seconds": round(stats.total_tt, 4),
+                "hotspots": rows,
+            })
+    return cells
+
+
+def render_profile(cells: List[dict]) -> str:
+    """Human-readable hotspot tables, one per profiled cell."""
+    lines: List[str] = []
+    for cell in cells:
+        lines.append(
+            f"{cell['model']}/{cell['workload']}: "
+            f"{cell['wall_seconds']:.3f}s profiled")
+        lines.append(f"  {'cum s':>8} {'tot s':>8} {'calls':>9}  where")
+        for ct, tt, nc, where in cell["hotspots"]:
+            lines.append(f"  {ct:>8.4f} {tt:>8.4f} {nc:>9}  {where}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
 def load_record(path) -> dict:
     with open(Path(path)) as handle:
         return json.load(handle)
@@ -244,4 +305,5 @@ def write_record(record: dict, path) -> None:
 
 __all__ = ("BENCH_MODELS", "BENCH_SCHEMA", "SMOKE_WORKLOADS",
            "compare_bench", "compare_speedups", "git_sha", "load_record",
-           "render_bench", "run_bench", "write_record")
+           "profile_bench", "render_bench", "render_profile", "run_bench",
+           "write_record")

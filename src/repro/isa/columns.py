@@ -172,7 +172,8 @@ class TraceColumns:
     """Shared flat columns + lazily built dependence graphs."""
 
     __slots__ = ("n", "port_code", "queue_code", "_dec", "_graphs",
-                 "_fetch_lines", "_fetch_runs", "_mp_kind")
+                 "_fetch_lines", "_fetch_runs", "_mp_kind", "_issue_kind",
+                 "_ev_pairs")
 
     def __init__(self, dec: "DecodedTrace"):
         self.n = dec.n
@@ -185,6 +186,8 @@ class TraceColumns:
         self._fetch_lines: Dict[Tuple[int, int], List[int]] = {}
         self._fetch_runs: Dict[Tuple[int, int], List[int]] = {}
         self._mp_kind: Optional[List[int]] = None
+        self._issue_kind: Dict[bool, bytes] = {}
+        self._ev_pairs: Optional[List[Tuple[int, int]]] = None
 
     def dependences(self, merged_dests: bool = False) -> DependenceGraph:
         """The static dependence graph for one rename discipline."""
@@ -228,6 +231,41 @@ class TraceColumns:
                     runs[i] = runs[i + 1]
             self._fetch_runs[key] = runs
         return runs
+
+    def issue_kind(self, merged_dests: bool = False) -> bytes:
+        """Packed per-seq issue-path flags for the OOO kernel.
+
+        Bit 0: memory-executing, bit 1: branch, bit 2: has static
+        consumers under the given rename discipline.  One subscript in
+        the issue tail replaces three flag-column probes (and the
+        common plain-ALU-with-consumers shape tests as a single byte).
+        """
+        kind = self._issue_kind.get(merged_dests)
+        if kind is None:
+            dec = self._dec
+            d_mem = dec.mem_exec
+            d_branch = dec.is_branch
+            off = self.dependences(merged_dests).cons_off
+            kind = bytes(
+                (1 if d_mem[s] else 0)
+                | (2 if d_branch[s] else 0)
+                | (4 if off[s] != off[s + 1] else 0)
+                for s in range(self.n))
+            self._issue_kind[merged_dests] = kind
+        return kind
+
+    def event_pairs(self) -> List[Tuple[int, int]]:
+        """Generation-zero ``(seq, gen)`` wheel entries, one per seq.
+
+        The OOO kernel copies this list and re-points an entry only
+        when a squash bumps that seq's generation, so the hot event
+        push appends a prebuilt pair instead of building a tuple.
+        """
+        pairs = self._ev_pairs
+        if pairs is None:
+            pairs = [(s, 0) for s in range(self.n)]
+            self._ev_pairs = pairs
+        return pairs
 
     def multipass_kind(self) -> List[int]:
         """Advance-dispatch class per seq for the multipass kernel.

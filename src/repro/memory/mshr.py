@@ -29,10 +29,13 @@ class MSHRFile:
     def _expire(self, now: int) -> None:
         while self._completions and self._completions[0] <= now:
             heapq.heappop(self._completions)
-        if self._by_line:
-            self._by_line = {
-                line: t for line, t in self._by_line.items() if t > now
-            }
+        by_line = self._by_line
+        if by_line:
+            # Prune in place: the columnar kernels hold a localized
+            # reference to this dict, so it must never be rebound.
+            expired = [line for line, t in by_line.items() if t <= now]
+            for line in expired:
+                del by_line[line]
 
     def outstanding(self, now: int) -> int:
         self._expire(now)

@@ -62,16 +62,12 @@ from heapq import heappop, heappush
 
 from ..isa.columns import columns_of
 from ..isa.opcodes import Opcode
+from ..pipeline.eventq import WHEEL, EventCalendar
 from ..pipeline.stats import SimStats, StallCategory
 from .asc import INVALID
 
 #: "No internal event" fast-forward hint (see ``multipass.core``).
 _INF = 1 << 62
-
-#: Near-fill calendar size: pready fills due within ``WHEEL`` cycles
-#: sit in a wheel slot, farther ones (memory-latency fills) in the
-#: heap.  Power of two — slot index is ``cycle & (WHEEL - 1)``.
-WHEEL = 64
 
 
 def run_columnar(core, max_cycles: int) -> SimStats:
@@ -243,10 +239,13 @@ def run_columnar(core, max_cycles: int) -> SimStats:
     # pready fill calendar for the hardware-restart rendezvous query
     # (dormant unless the ablation is enabled — pushes are gated so the
     # primary models pay nothing for it).  Entries are (cycle, reg,
-    # epoch); staleness = epoch mismatch, hint cleared, or hint
-    # overwritten with a different fill time.
-    wheel: list = [[] for _ in range(WHEEL)]
-    heap: list = []
+    # epoch) in both tiers — the rendezvous min-scans wheel slots out
+    # of drain order, so wheel entries carry their time explicitly.
+    # Staleness = epoch mismatch, hint cleared, or hint overwritten
+    # with a different fill time (see repro.pipeline.eventq).
+    cal = EventCalendar()
+    wheel = cal.wheel
+    heap = cal.heap
 
     # Mode machine state (0 = architectural, 1 = advance, 2 = rally).
     mode = 0

@@ -1,11 +1,12 @@
 """Pipeline infrastructure and the baseline in-order core."""
 
 from .base import BaseCore, SimulationDiverged
+from .eventq import WHEEL, EventCalendar
 from .frontend import FrontEnd
 from .inorder import InOrderCore, simulate_inorder
 from .stats import SimStats, StallCategory
 
 __all__ = [
-    "BaseCore", "FrontEnd", "InOrderCore", "SimStats", "SimulationDiverged",
-    "StallCategory", "simulate_inorder",
+    "BaseCore", "EventCalendar", "FrontEnd", "InOrderCore", "SimStats",
+    "SimulationDiverged", "StallCategory", "WHEEL", "simulate_inorder",
 ]

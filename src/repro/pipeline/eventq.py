@@ -1,0 +1,117 @@
+"""Shared event calendar: 64-slot timing wheel + far-event heap.
+
+Both columnar timing kernels (:mod:`repro.ooo.columnar` and
+:mod:`repro.multipass.columnar`) schedule future wake-ups on the same
+two-tier calendar:
+
+* events due within :data:`WHEEL` cycles go to a slot of a 64-entry
+  timing wheel — appended in O(1), drained exactly at their cycle by
+  the ``now & WHEEL_MASK`` slot visit;
+* farther events (memory-latency fills) go to a binary heap ordered by
+  due cycle, popped as they come due.
+
+The calendar stores caller-shaped tuples and never inspects them beyond
+the heap ordering, so one contract serves both kernels:
+
+* **Far entries are due-cycle-first.**  A heap entry must compare by
+  its due cycle, i.e. ``entry[0] == time``.  Wheel entries need no time
+  field when the caller drains slots cycle-by-cycle (the slot index IS
+  the time): the OOO kernel stores ``(seq, gen)`` pairs.  A caller that
+  min-scans slots out of drain order (the multipass hardware-restart
+  rendezvous) stores the time explicitly.
+* **Staleness is the caller's stamp, checked at drain.**  Nothing is
+  ever removed from the calendar eagerly.  Callers stamp entries with a
+  generation/epoch at insertion (the OOO kernel's per-seq ``gen``,
+  bumped at squash; the multipass kernel's pass epoch) and discard
+  mismatches when the entry surfaces.  This is what makes wheel slots
+  safe across 64-cycle wraps and idle fast-forward spans: a *live*
+  entry is always drained exactly at its due cycle (every entry is
+  inserted less than :data:`WHEEL` cycles before it fires, so the first
+  visit of its slot after insertion is its own cycle, and the kernels'
+  quiescence skips never jump a live event — the wake horizon that caps
+  a skip is itself derived from the in-flight completions that feed the
+  calendar); only *stale* entries can be jumped, and their stamp
+  discards them whenever the slot next comes around.
+* **Hot loops inline.**  The kernels localize :attr:`wheel` and
+  :attr:`heap` and open-code :meth:`schedule` / the drain loop — at a
+  few million events per second a method call per event is measurable.
+  The methods here are the readable specification of those idioms (and
+  the surface the unit tests pin); the localized loops must stay
+  observationally identical to them.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import List, Optional, Tuple
+
+#: Calendar horizon: events strictly less than ``WHEEL`` cycles out sit
+#: in a wheel slot, farther ones in the heap.  Power of two — the slot
+#: index is ``cycle & WHEEL_MASK``.
+WHEEL = 64
+
+#: Slot-index mask (``cycle & WHEEL_MASK == cycle % WHEEL``).
+WHEEL_MASK = WHEEL - 1
+
+
+class EventCalendar:
+    """One timing wheel + far heap, as used by both columnar kernels."""
+
+    __slots__ = ("wheel", "heap")
+
+    def __init__(self) -> None:
+        self.wheel: List[list] = [[] for _ in range(WHEEL)]
+        self.heap: List[Tuple] = []
+
+    def schedule(self, time: int, now: int, entry: tuple) -> None:
+        """File ``entry`` to fire at cycle ``time`` (``time > now``).
+
+        Near events (``time - now < WHEEL``) go to their wheel slot;
+        far events are heap-pushed and must be due-cycle-first tuples
+        (``entry[0] == time``).
+        """
+        if time - now < WHEEL:
+            self.wheel[time & WHEEL_MASK].append(entry)
+        else:
+            heappush(self.heap, entry)
+
+    def slot(self, now: int) -> list:
+        """The wheel slot due at cycle ``now`` (drain with ``del s[:]``)."""
+        return self.wheel[now & WHEEL_MASK]
+
+    def pop_due(self, now: int) -> list:
+        """Drain and return every entry due at or before ``now``.
+
+        Returns this cycle's wheel slot entries followed by all far
+        entries whose due cycle has arrived (heap order) — far events
+        are *promoted* out of the heap the moment their cycle comes due,
+        which for a cycle-by-cycle caller is exactly their own cycle.
+        Staleness stamps are NOT checked here; the caller filters.
+        """
+        due: list = []
+        slot = self.wheel[now & WHEEL_MASK]
+        if slot:
+            due.extend(slot)
+            del slot[:]
+        heap = self.heap
+        while heap and heap[0][0] <= now:
+            due.append(heappop(heap))
+        return due
+
+    def earliest_far(self) -> Optional[int]:
+        """Due cycle of the earliest far event, or None (heap empty)."""
+        heap = self.heap
+        return heap[0][0] if heap else None
+
+    def clear(self) -> None:
+        """Drop every scheduled event (fresh calendar, same lists)."""
+        for slot in self.wheel:
+            del slot[:]
+        del self.heap[:]
+
+    def __len__(self) -> int:
+        """Total entries filed (including stale ones awaiting discard)."""
+        return sum(len(slot) for slot in self.wheel) + len(self.heap)
+
+
+__all__ = ("WHEEL", "WHEEL_MASK", "EventCalendar")

@@ -74,6 +74,56 @@ def test_skip_never_jumps_a_boundary_event(model):
                 f"span jumped an event that landed on a skipped cycle")
 
 
+def _wakeup_boundary_program(pad: int):
+    """A visibility event (completion + wakeup_delay) on the span edge.
+
+    The realistic OOO core pays one wakeup-loop cycle: a consumer sees
+    its producer at ``ready_cycle + 1``, so every wake-up event in the
+    calendar sits one cycle later than on the ideal core.  This shape
+    opens a main-memory idle span with a cold load and floats a slow
+    MULDIV chain across it: the div's *shifted* visibility event is the
+    first event after the skip starts for some ``pad`` in the sweep —
+    off-by-one in either direction (folding the delay into the event
+    time, or capping a skip with the unshifted completion) diverges
+    from the never-skipping reference.
+    """
+    b = ProgramBuilder(f"wakeup-boundary-p{pad}")
+    b.movi(R(12), 0x2000)
+    b.movi(R(1), 7)
+    b.movi(R(2), 3)
+    b.ld(R(3), R(12), 0)          # cold load: opens the idle span
+    for _ in range(pad):          # slide the div completion cycle
+        b.addi(R(1), R(1), 1)
+    b.mul(R(4), R(1), R(2))       # slow chain started before the span
+    b.div(R(5), R(4), R(2))
+    b.add(R(6), R(5), R(5))       # wakes at div ready + wakeup_delay
+    b.add(R(7), R(6), R(3))       # joins the fill: wakes at the later
+    b.addi(R(8), R(7), 1)         # of fill/chain visibility
+    b.halt()
+    return execute(compile_program(b.build()))
+
+
+@pytest.mark.parametrize("model", ("ooo", "ooo-realistic"))
+def test_wakeup_delay_shifted_event_on_skip_boundary(model):
+    """OOO cells where the +wakeup_delay event lands on a skipped cycle.
+
+    Sweeping the pad slides the chain's visibility events one cycle at
+    a time across the idle-span boundary; running both OOO cores pins
+    both alignments (ideal ``wakeup_delay=0`` and realistic ``=1``
+    place the same completion's event on adjacent cycles, so a sweep
+    that is clean on one core and dirty on the other localizes the
+    shift handling, not the span logic).
+    """
+    for pad in PADS:
+        trace = _wakeup_boundary_program(pad)
+        fast = run_model(model, trace)
+        slow = run_model(model, trace, slow=True)
+        assert _comparable(fast) == _comparable(slow), (
+            f"{model}: fast path diverged from the per-cycle reference "
+            f"at pad={pad} — a wakeup_delay-shifted visibility event "
+            f"landed on a skipped cycle")
+
+
 @pytest.mark.parametrize("model", ALL_MODELS)
 def test_skip_sound_under_commit_verification(model):
     """The same sweep with architectural replay checking enabled.
